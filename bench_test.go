@@ -1,0 +1,290 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation,
+// plus the ablations called out in DESIGN.md. Each table benchmark reports
+// the measured AART/AIR/ASR of a representative set as custom metrics, so
+// `go test -bench .` both times the harness and re-derives the paper's
+// numbers.
+package rtsj_test
+
+import (
+	"fmt"
+	"testing"
+
+	"rtsj/internal/analysis"
+	"rtsj/internal/core"
+	"rtsj/internal/exec"
+	"rtsj/internal/experiments"
+	"rtsj/internal/gen"
+	"rtsj/internal/metrics"
+	"rtsj/internal/rtime"
+	"rtsj/internal/rtsjvm"
+	"rtsj/internal/sim"
+	"rtsj/internal/trace"
+)
+
+// --- Figures 2-4: the three scenarios on the framework -------------------
+
+func benchmarkFigure(b *testing.B, n int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.RunFigure(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fig.ExecGantt == "" {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFigure2Scenario1(b *testing.B) { benchmarkFigure(b, 1) }
+func BenchmarkFigure3Scenario2(b *testing.B) { benchmarkFigure(b, 2) }
+func BenchmarkFigure4Scenario3(b *testing.B) { benchmarkFigure(b, 3) }
+
+// --- Tables 2-5: one full set per iteration ------------------------------
+
+func benchmarkSet(b *testing.B, key string, policy sim.ServerPolicy, mode experiments.Mode) {
+	model := experiments.DefaultExecModel()
+	var last metrics.SetSummary
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.RunSet(key, policy, mode, model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = s
+	}
+	b.ReportMetric(last.AART, "AART-tu")
+	b.ReportMetric(last.AIR, "AIR")
+	b.ReportMetric(last.ASR, "ASR")
+}
+
+func BenchmarkTable2PSSimulation(b *testing.B) {
+	benchmarkSet(b, "(2, 0)", sim.PollingServer, experiments.Simulation)
+}
+
+func BenchmarkTable3PSExecution(b *testing.B) {
+	benchmarkSet(b, "(2, 2)", sim.LimitedPollingServer, experiments.Execution)
+}
+
+func BenchmarkTable4DSSimulation(b *testing.B) {
+	benchmarkSet(b, "(2, 0)", sim.DeferrableServer, experiments.Simulation)
+}
+
+func BenchmarkTable5DSExecution(b *testing.B) {
+	benchmarkSet(b, "(2, 2)", sim.LimitedDeferrableServer, experiments.Execution)
+}
+
+// BenchmarkTablesAllSets runs every cell of every table once per iteration
+// (the full evaluation of the paper).
+func BenchmarkTablesAllSets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, id := range []string{"2", "3", "4", "5"} {
+			if _, err := experiments.RunTable(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Ablation: FIFO pending list vs Section 7 admission queue ------------
+
+func benchmarkPSServer(b *testing.B, admission bool) {
+	p := experiments.GenParams("(3, 2)")
+	systems := gen.Generate(p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := systems[i%len(systems)]
+		vm := rtsjvm.NewVM(nil, rtsjvm.Overheads{})
+		srv := core.NewPollingTaskServer(vm, "PS", 100,
+			core.NewTaskServerParameters(0, rtime.TUs(4), rtime.TUs(6)))
+		if admission {
+			srv.UseAdmissionQueue()
+		}
+		for k := range base.Aperiodics {
+			a := base.Aperiodics[k]
+			h := core.NewServableAsyncEventHandler(srv, a.Name, a.Cost)
+			e := core.NewServableAsyncEvent(vm, a.Name)
+			e.AddServableHandler(h)
+			vm.NewOneShotTimer(a.Release, e, a.Name).Start()
+		}
+		if err := vm.Run(p.Horizon()); err != nil {
+			b.Fatal(err)
+		}
+		vm.Shutdown()
+	}
+}
+
+func BenchmarkAblationPSFIFOQueue(b *testing.B)      { benchmarkPSServer(b, false) }
+func BenchmarkAblationPSAdmissionQueue(b *testing.B) { benchmarkPSServer(b, true) }
+
+// The raw data-structure trade: registration cost of the list-of-lists
+// versus the flat FIFO, for growing backlogs.
+func BenchmarkAblationAdmissionRegister(b *testing.B) {
+	for _, backlog := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("backlog%d", backlog), func(b *testing.B) {
+			q := core.NewAdmissionQueue(rtime.TUs(4), rtime.TUs(6))
+			srv := struct{}{} // queue is standalone; no server needed
+			_ = srv
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if q.Len() >= backlog {
+					q = core.NewAdmissionQueue(rtime.TUs(4), rtime.TUs(6))
+				}
+				q.RegisterCost(rtime.Time(i), rtime.TUs(1.5))
+			}
+		})
+	}
+}
+
+// --- Ablation: overhead sensitivity (AIR/ASR vs timer-fire cost) ---------
+
+func BenchmarkAblationOverheadSweep(b *testing.B) {
+	for _, fireTU := range []float64{0, 0.05, 0.15, 0.4} {
+		b.Run(fmt.Sprintf("timerfire%.2ftu", fireTU), func(b *testing.B) {
+			model := experiments.DefaultExecModel()
+			model.Overheads.TimerFire = rtime.TUs(fireTU)
+			var last metrics.SetSummary
+			for i := 0; i < b.N; i++ {
+				s, err := experiments.RunSet("(2, 2)", sim.LimitedPollingServer,
+					experiments.Execution, model)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = s
+			}
+			b.ReportMetric(last.AIR, "AIR")
+			b.ReportMetric(last.ASR, "ASR")
+		})
+	}
+}
+
+// --- Ablation: ideal (resumable) vs limited (non-resumable) policies -----
+
+func BenchmarkAblationLimitedVsIdeal(b *testing.B) {
+	for _, cfg := range []struct {
+		name   string
+		policy sim.ServerPolicy
+	}{
+		{"idealPS", sim.PollingServer},
+		{"limitedPS", sim.LimitedPollingServer},
+		{"idealDS", sim.DeferrableServer},
+		{"limitedDS", sim.LimitedDeferrableServer},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var last metrics.SetSummary
+			for i := 0; i < b.N; i++ {
+				s, err := experiments.RunSet("(2, 2)", cfg.policy,
+					experiments.Simulation, experiments.DefaultExecModel())
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = s
+			}
+			b.ReportMetric(last.AART, "AART-tu")
+			b.ReportMetric(last.ASR, "ASR")
+		})
+	}
+}
+
+// --- Engine throughput ----------------------------------------------------
+
+// BenchmarkEngineSimThroughput measures the discrete-event simulator on a
+// dense workload (jobs per second of wall time).
+func BenchmarkEngineSimThroughput(b *testing.B) {
+	p := gen.Params{
+		TaskDensity: 3, AverageCost: 3, StdDeviation: 2,
+		ServerCapacity: 4, ServerPeriod: 6,
+		NbGeneration: 1, Seed: 7, HorizonPeriods: 1000,
+	}
+	base := gen.Generate(p)[0]
+	sys := gen.WithServer(base, p, sim.DeferrableServer, 100)
+	jobs := len(sys.Aperiodics)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sys, sim.NewFP(sys, nil), p.Horizon(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(jobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkEngineExecThroughput measures the virtual-time executive running
+// the framework (events per second of wall time, including goroutine
+// handoffs).
+func BenchmarkEngineExecThroughput(b *testing.B) {
+	p := gen.Params{
+		TaskDensity: 3, AverageCost: 3, StdDeviation: 2,
+		ServerCapacity: 4, ServerPeriod: 6,
+		NbGeneration: 1, Seed: 7, HorizonPeriods: 100,
+	}
+	base := gen.Generate(p)[0]
+	sys := gen.WithServer(base, p, sim.LimitedDeferrableServer, 100)
+	events := len(sys.Aperiodics)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunExecution(sys, experiments.ZeroExecModel(), p.Horizon()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(events*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkExecContextSwitch measures the raw cost of one executive
+// preemption round trip (kernel -> thread -> kernel).
+func BenchmarkExecContextSwitch(b *testing.B) {
+	ex := exec.New(trace.New())
+	steps := 0
+	ex.Spawn("spinner", 1, 0, func(tc *exec.TC) {
+		for {
+			tc.Consume(rtime.TUs(1))
+			steps++
+		}
+	})
+	b.ResetTimer()
+	if err := ex.Run(rtime.Time(rtime.TUs(1)) * rtime.Time(b.N)); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	ex.Shutdown()
+	if steps == 0 {
+		b.Fatal("spinner never ran")
+	}
+}
+
+// --- Analysis micro-benchmarks --------------------------------------------
+
+func BenchmarkAnalysisRTA(b *testing.B) {
+	tasks := analysis.WithDeferrableServer([]analysis.Task{
+		{Name: "t1", C: rtime.TUs(1), T: rtime.TUs(8), Prio: 4},
+		{Name: "t2", C: rtime.TUs(1), T: rtime.TUs(10), Prio: 3},
+		{Name: "t3", C: rtime.TUs(1), T: rtime.TUs(12), Prio: 2},
+		{Name: "t4", C: rtime.TUs(2), T: rtime.TUs(20), Prio: 1},
+	}, rtime.TUs(1), rtime.TUs(5), 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !analysis.Feasible(tasks) {
+			b.Fatal("set should be feasible")
+		}
+	}
+}
+
+func BenchmarkAnalysisOnlinePSResponse(b *testing.B) {
+	st := analysis.PSServerState{
+		Cs: rtime.TUs(4), Ts: rtime.TUs(6), Rem: rtime.TUs(2), Now: rtime.AtTU(20),
+	}
+	for i := 0; i < b.N; i++ {
+		if analysis.OnlinePSResponse(st, rtime.TUs(9), rtime.AtTU(19)) <= 0 {
+			b.Fatal("bad response")
+		}
+	}
+}
+
+func BenchmarkGenerator(b *testing.B) {
+	p := experiments.GenParams("(3, 2)")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(gen.Generate(p)) != 10 {
+			b.Fatal("bad generation")
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Command rtgen is the random real-time system generator of the paper's
+// Section 6.1 (fr.umlv.randomGenerator): it emits generated systems in the
+// rtss spec format.
+//
+// Usage:
+//
+//	rtgen [-density 2] [-cost 3] [-sd 0] [-capacity 4] [-period 6]
+//	      [-n 10] [-seed 1983] [-periods 10] [-server ps] [-poisson]
+//	      [-index 0]
+//
+// With -n > 1, -index selects which generated system to print (or use
+// -all to print them all separated by blank lines).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtsj/internal/gen"
+	"rtsj/internal/sim"
+	"rtsj/internal/spec"
+)
+
+func main() {
+	density := flag.Float64("density", 2, "average aperiodic events per server period")
+	cost := flag.Float64("cost", 3, "average event cost (tu)")
+	sd := flag.Float64("sd", 0, "cost standard deviation (tu)")
+	capacity := flag.Float64("capacity", 4, "server capacity (tu)")
+	period := flag.Float64("period", 6, "server period (tu)")
+	n := flag.Int("n", 10, "number of systems to generate")
+	seed := flag.Int64("seed", 1983, "random seed")
+	periods := flag.Int("periods", 10, "observation horizon in server periods")
+	server := flag.String("server", "ps-lim", "server policy: ps, ds, ps-lim, ds-lim, ss, bg")
+	poisson := flag.Bool("poisson", false, "use Poisson arrivals instead of per-period")
+	index := flag.Int("index", 0, "which generated system to print")
+	all := flag.Bool("all", false, "print every generated system")
+	flag.Parse()
+
+	p := gen.Params{
+		TaskDensity:    *density,
+		AverageCost:    *cost,
+		StdDeviation:   *sd,
+		ServerCapacity: *capacity,
+		ServerPeriod:   *period,
+		NbGeneration:   *n,
+		Seed:           *seed,
+		HorizonPeriods: *periods,
+	}
+	if *poisson {
+		p.Arrivals = gen.PoissonArrivals
+	}
+	policies := map[string]sim.ServerPolicy{
+		"bg": sim.NoServer, "ps": sim.PollingServer, "ds": sim.DeferrableServer,
+		"ps-lim": sim.LimitedPollingServer, "ds-lim": sim.LimitedDeferrableServer,
+		"ss": sim.SporadicServer,
+	}
+	pol, ok := policies[*server]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rtgen: unknown server policy %q\n", *server)
+		os.Exit(1)
+	}
+
+	systems := gen.Generate(p)
+	if len(systems) == 0 {
+		fmt.Fprintln(os.Stderr, "rtgen: nothing generated")
+		os.Exit(1)
+	}
+	emit := func(i int) {
+		sys := gen.WithServer(systems[i], p, pol, 100)
+		f := &spec.File{System: sys, Horizon: p.Horizon()}
+		fmt.Printf("# rtgen system %d/%d: density=%g cost=%g sd=%g seed=%d\n",
+			i+1, len(systems), *density, *cost, *sd, *seed)
+		fmt.Print(spec.Format(f))
+	}
+	if *all {
+		for i := range systems {
+			emit(i)
+			fmt.Println()
+		}
+		return
+	}
+	if *index < 0 || *index >= len(systems) {
+		fmt.Fprintf(os.Stderr, "rtgen: index %d out of range (0..%d)\n", *index, len(systems)-1)
+		os.Exit(1)
+	}
+	emit(*index)
+}

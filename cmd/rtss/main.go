@@ -1,0 +1,131 @@
+// Command rtss is the discrete-event real-time system simulator of the
+// paper's Section 5: it simulates a system description under Preemptive
+// Fixed Priority (with an optional aperiodic task server), EDF or D-OVER,
+// and displays a temporal diagram of the simulated execution.
+//
+// Usage:
+//
+//	rtss [-f system.rtss] [-exec] [-scale 1tu] [-quiet]
+//
+// Reads the system from the file (or stdin) in the internal/spec format.
+// With -exec, the workload is additionally executed on the Task Server
+// Framework (RTSJ emulation) and both outcomes are shown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rtsj/internal/experiments"
+	"rtsj/internal/metrics"
+	"rtsj/internal/rtime"
+	"rtsj/internal/sim"
+	"rtsj/internal/spec"
+	"rtsj/internal/trace"
+)
+
+func main() {
+	file := flag.String("f", "", "system description file (default: stdin)")
+	execToo := flag.Bool("exec", false, "also execute on the Task Server Framework")
+	scale := flag.String("scale", "1tu", "gantt column width")
+	quiet := flag.Bool("quiet", false, "suppress the gantt chart, print metrics only")
+	csvOut := flag.String("csv", "", "write the simulation trace as CSV to this file")
+	jsonOut := flag.String("json", "", "write the simulation trace as JSON to this file")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	parsed, err := spec.Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	colw, err := rtime.ParseDuration(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	opts := trace.GanttOptions{Scale: colw, Until: parsed.Horizon}
+
+	tr := trace.New()
+	var d sim.Dispatcher
+	switch parsed.Policy {
+	case spec.EDF:
+		d = sim.NewEDF()
+	case spec.DOver:
+		d = sim.NewDOver(parsed.System, tr)
+	default:
+		d = sim.NewFP(parsed.System, tr)
+	}
+	result, err := sim.Run(parsed.System, d, parsed.Horizon, tr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("== RTSS simulation (%s) ==\n", d.Name())
+	if !*quiet {
+		fmt.Println(tr.Gantt(opts))
+	}
+	printMetrics(metrics.FromSimResult(result), result.PeriodicMisses)
+
+	if *csvOut != "" {
+		if err := writeTrace(*csvOut, tr.WriteCSV); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonOut != "" {
+		if err := writeTrace(*jsonOut, tr.WriteJSON); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *execToo {
+		if parsed.Policy != spec.FP || parsed.System.Server == nil {
+			fatal(fmt.Errorf("-exec needs an FP system with a ps/ds server"))
+		}
+		o, err := experiments.RunExecution(parsed.System, experiments.DefaultExecModel(), parsed.Horizon)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== Task Server Framework execution ==")
+		if !*quiet {
+			fmt.Println(o.Trace.Gantt(opts))
+		}
+		printMetrics(metrics.FromRecords(o.Records), 0)
+	}
+}
+
+func printMetrics(evs []metrics.Event, misses int) {
+	s := metrics.Summarize(evs)
+	fmt.Printf("aperiodics: %d total, %d served, %d interrupted\n", s.Total, s.Served, s.Interrupted)
+	if s.Served > 0 {
+		fmt.Printf("avg response %.2ftu, max %.2ftu\n", s.AvgResponse, s.MaxResponse)
+	}
+	if misses > 0 {
+		fmt.Printf("PERIODIC DEADLINE MISSES: %d\n", misses)
+	}
+	fmt.Println()
+}
+
+func writeTrace(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rtss: %v\n", err)
+	os.Exit(1)
+}

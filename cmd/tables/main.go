@@ -1,0 +1,44 @@
+// Command tables regenerates the paper's measurement tables (Tables 2-5):
+// the six generated system sets, each simulated (ideal policies on RTSS)
+// and executed (Task Server Framework on the RTSJ emulation), reporting
+// AART, AIR and ASR side by side with the paper's values.
+//
+// Usage:
+//
+//	tables [-table 2|3|4|5|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtsj/internal/experiments"
+)
+
+func main() {
+	table := flag.String("table", "all", "table to regenerate: 2, 3, 4, 5 or all")
+	matrix := flag.Bool("matrix", false, "also run the extension experiment: every policy on every set")
+	flag.Parse()
+
+	ids := []string{"2", "3", "4", "5"}
+	if *table != "all" {
+		ids = []string{*table}
+	}
+	for _, id := range ids {
+		t, err := experiments.RunTable(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Format())
+	}
+	if *matrix {
+		m, err := experiments.RunPolicyMatrix()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(m.Format())
+	}
+}

@@ -1,0 +1,62 @@
+// Overload: RTSS's value-based D-OVER policy against plain EDF when the
+// system is overloaded. Under overload EDF collapses (the famous domino
+// effect: it starts everything and finishes nothing), while D-OVER
+// abandons low-value work to guarantee the high-value jobs.
+//
+// Run with: go run ./examples/overload
+package main
+
+import (
+	"fmt"
+
+	"rtsj/internal/rtime"
+	"rtsj/internal/sim"
+	"rtsj/internal/trace"
+)
+
+func job(name string, rel, cost, dl, value float64) sim.AperiodicJob {
+	return sim.AperiodicJob{
+		Name: name, Release: rtime.AtTU(rel),
+		Cost: rtime.TUs(cost), Deadline: rtime.TUs(dl), Value: value,
+	}
+}
+
+func main() {
+	// 200% load over [0, 12): six jobs, only half can fit.
+	sys := sim.System{Aperiodics: []sim.AperiodicJob{
+		job("batch1", 0, 4, 6, 4),
+		job("batch2", 1, 4, 6, 4),
+		job("video", 2, 3, 5, 9),
+		job("batch3", 6, 4, 6, 4),
+		job("audio", 7, 2, 4, 8),
+		job("batch4", 8, 4, 6, 4),
+	}}
+
+	run := func(name string, d sim.Dispatcher, tr *trace.Trace) {
+		r, err := sim.Run(sys, d, rtime.AtTU(16), tr)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("== %s ==\n", name)
+		fmt.Println(tr.Gantt(trace.GanttOptions{Until: rtime.AtTU(16), AxisEvery: 4}))
+		var done, value float64
+		for _, j := range r.Aperiodics() {
+			status := "missed"
+			if j.Finished && j.Finish <= j.AbsDL {
+				status = "completed"
+				done++
+				value += j.Value
+			} else if j.Aborted {
+				status = "abandoned"
+			}
+			fmt.Printf("  %-7s value %2.0f: %s\n", j.Name, j.Value, status)
+		}
+		fmt.Printf("  completed value: %.0f\n\n", value)
+	}
+
+	trEDF := trace.New()
+	run("EDF (domino effect under overload)", sim.NewEDF(), trEDF)
+
+	trD := trace.New()
+	run("D-OVER (value-based overload handling)", sim.NewDOver(sys, trD), trD)
+}

@@ -1,0 +1,344 @@
+// Package analysis implements the feasibility theory the paper relies on:
+// fixed-priority response-time analysis (with release jitter, which is how a
+// Deferrable Server is accounted for), utilization bounds, EDF
+// processor-demand analysis, and the paper's Section 7 on-line response-time
+// equations for aperiodic events served by a Polling Server.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rtsj/internal/rtime"
+)
+
+// Task is a periodic task for off-line analysis.
+type Task struct {
+	Name string
+	C    rtime.Duration // worst-case execution time
+	T    rtime.Duration // period
+	D    rtime.Duration // relative deadline; 0 means D = T
+	Prio int            // fixed priority; larger is higher
+	J    rtime.Duration // release jitter (0 for plain periodic tasks)
+	B    rtime.Duration // blocking from lower-priority tasks (0 if none)
+}
+
+// Deadline returns the task's effective relative deadline.
+func (t Task) Deadline() rtime.Duration {
+	if t.D > 0 {
+		return t.D
+	}
+	return t.T
+}
+
+// Utilization returns the processor utilization of the task set.
+func Utilization(tasks []Task) float64 {
+	u := 0.0
+	for _, t := range tasks {
+		u += float64(t.C) / float64(t.T)
+	}
+	return u
+}
+
+// Response is the outcome of response-time analysis for one task.
+type Response struct {
+	Task Task
+	// R is the worst-case response time measured from the periodic
+	// reference (it includes the task's own release jitter).
+	R        rtime.Duration
+	Feasible bool
+	// Converged is false when the recurrence diverged past the deadline
+	// (the response time is then a lower bound, reported as-is).
+	Converged bool
+}
+
+// ResponseTimes runs the classical fixed-priority response-time recurrence
+//
+//	w = C + B + sum_{j in hp} ceil((w + Jj)/Tj) * Cj
+//
+// for every task, with R = w + J. A task is feasible when R <= D. Tasks
+// with equal priority are treated as mutually interfering (each appears in
+// the other's interference set), a safe over-approximation.
+func ResponseTimes(tasks []Task) []Response {
+	out := make([]Response, len(tasks))
+	for i, t := range tasks {
+		var hp []Task
+		for k, o := range tasks {
+			if k == i {
+				continue
+			}
+			if o.Prio >= t.Prio {
+				hp = append(hp, o)
+			}
+		}
+		w := t.C + t.B
+		converged := false
+		limit := t.Deadline() + t.J
+		for iter := 0; iter < 10_000; iter++ {
+			next := t.C + t.B
+			for _, o := range hp {
+				next += rtime.Duration(rtime.DivCeil(w+o.J, o.T)) * o.C
+			}
+			if next == w {
+				converged = true
+				break
+			}
+			w = next
+			if w+t.J > limit && limit > 0 {
+				// Diverged past the deadline: infeasible regardless.
+				break
+			}
+		}
+		r := w + t.J
+		out[i] = Response{Task: t, R: r, Feasible: converged && r <= t.Deadline(), Converged: converged}
+	}
+	return out
+}
+
+// Feasible reports whether every task passes response-time analysis.
+func Feasible(tasks []Task) bool {
+	for _, r := range ResponseTimes(tasks) {
+		if !r.Feasible {
+			return false
+		}
+	}
+	return true
+}
+
+// LiuLaylandBound returns the rate-monotonic utilization bound
+// n(2^(1/n) - 1).
+func LiuLaylandBound(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) * (math.Pow(2, 1/float64(n)) - 1)
+}
+
+// FeasibleLiuLayland reports whether the set passes the Liu & Layland
+// utilization test (sufficient, not necessary; implicit deadlines assumed).
+func FeasibleLiuLayland(tasks []Task) bool {
+	return Utilization(tasks) <= LiuLaylandBound(len(tasks))+1e-12
+}
+
+// FeasibleHyperbolic reports whether the set passes Bini's hyperbolic bound
+// prod(Ui + 1) <= 2 (sufficient; tighter than Liu & Layland).
+func FeasibleHyperbolic(tasks []Task) bool {
+	p := 1.0
+	for _, t := range tasks {
+		p *= float64(t.C)/float64(t.T) + 1
+	}
+	return p <= 2+1e-12
+}
+
+// DSUtilizationBound returns the rate-monotonic utilization bound for n
+// periodic tasks running below a Deferrable Server with utilization us
+// (Lehoczky, Sha & Strosnider):
+//
+//	Up <= n * [ ((us + 2) / (2*us + 1))^(1/n) - 1 ]
+func DSUtilizationBound(n int, us float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) * (math.Pow((us+2)/(2*us+1), 1/float64(n)) - 1)
+}
+
+// WithPollingServer returns tasks plus the Polling Server modeled as a
+// plain periodic task — the paper: "its most significant advantage is that
+// it can be included in the feasibility analysis like any periodic task".
+func WithPollingServer(tasks []Task, cs, ts rtime.Duration, prio int) []Task {
+	out := append([]Task(nil), tasks...)
+	return append(out, Task{Name: "PS", C: cs, T: ts, Prio: prio})
+}
+
+// WithDeferrableServer returns tasks plus the Deferrable Server modeled as
+// a periodic task with release jitter Ts - Cs: because the DS may defer its
+// capacity to the end of one period and spend a fresh capacity at the start
+// of the next, lower-priority tasks can suffer two back-to-back hits. This
+// is the modified analysis of Strosnider, Lehoczky & Sha the paper refers
+// to in Section 2.2.
+func WithDeferrableServer(tasks []Task, cs, ts rtime.Duration, prio int) []Task {
+	out := append([]Task(nil), tasks...)
+	return append(out, Task{Name: "DS", C: cs, T: ts, Prio: prio, J: ts - cs})
+}
+
+// DemandBound returns the EDF processor demand h(t) of the task set in
+// [0, t]: sum over tasks of max(0, floor((t - Di)/Ti) + 1) * Ci.
+func DemandBound(tasks []Task, t rtime.Duration) rtime.Duration {
+	var h rtime.Duration
+	for _, task := range tasks {
+		d := task.Deadline()
+		if t < d {
+			continue
+		}
+		n := rtime.DivFloor(t-d, task.T) + 1
+		h += rtime.Duration(n) * task.C
+	}
+	return h
+}
+
+// EDFFeasible runs processor-demand analysis for EDF with arbitrary
+// relative deadlines: U <= 1 and h(t) <= t at every absolute deadline up to
+// the synchronous busy period.
+func EDFFeasible(tasks []Task) bool {
+	if len(tasks) == 0 {
+		return true
+	}
+	if Utilization(tasks) > 1+1e-12 {
+		return false
+	}
+	// Busy-period bound: fixpoint of L = sum ceil(L/Ti) Ci.
+	var l rtime.Duration
+	for _, t := range tasks {
+		l += t.C
+	}
+	for iter := 0; iter < 10_000; iter++ {
+		var next rtime.Duration
+		for _, t := range tasks {
+			next += rtime.Duration(rtime.DivCeil(l, t.T)) * t.C
+		}
+		if next == l {
+			break
+		}
+		l = next
+	}
+	// Check h(t) <= t at each deadline in (0, L].
+	points := deadlinePoints(tasks, l)
+	for _, p := range points {
+		if DemandBound(tasks, p) > p {
+			return false
+		}
+	}
+	return true
+}
+
+// deadlinePoints enumerates the absolute deadlines of all task instances up
+// to limit, deduplicated and sorted.
+func deadlinePoints(tasks []Task, limit rtime.Duration) []rtime.Duration {
+	seen := make(map[rtime.Duration]bool)
+	var out []rtime.Duration
+	for _, t := range tasks {
+		for k := int64(0); ; k++ {
+			d := rtime.Duration(k)*t.T + t.Deadline()
+			if d > limit {
+				break
+			}
+			if !seen[d] {
+				seen[d] = true
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// BusyPeriod returns the length of the synchronous processor busy period of
+// the task set (the fixpoint of L = sum ceil(L/Ti) Ci), or 0 for an empty
+// set. It diverges for U > 1; the iteration is capped and the second return
+// value reports convergence.
+func BusyPeriod(tasks []Task) (rtime.Duration, bool) {
+	if len(tasks) == 0 {
+		return 0, true
+	}
+	var l rtime.Duration
+	for _, t := range tasks {
+		l += t.C
+	}
+	for iter := 0; iter < 10_000; iter++ {
+		var next rtime.Duration
+		for _, t := range tasks {
+			next += rtime.Duration(rtime.DivCeil(l, t.T)) * t.C
+		}
+		if next == l {
+			return l, true
+		}
+		l = next
+	}
+	return l, false
+}
+
+// Hyperperiod returns the least common multiple of the task periods — the
+// schedule repetition length for synchronous task sets. The second return
+// value is false on overflow.
+func Hyperperiod(tasks []Task) (rtime.Duration, bool) {
+	if len(tasks) == 0 {
+		return 0, true
+	}
+	l := tasks[0].T
+	for _, t := range tasks[1:] {
+		g := gcd(l, t.T)
+		x := int64(l / g)
+		if t.T != 0 && x > math.MaxInt64/int64(t.T) {
+			return 0, false
+		}
+		l = rtime.Duration(x * int64(t.T))
+	}
+	return l, true
+}
+
+func gcd(a, b rtime.Duration) rtime.Duration {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// PSServerState is the server state observed at the arrival of an aperiodic
+// event, for the on-line response-time computation of Section 7.
+type PSServerState struct {
+	Cs  rtime.Duration // full capacity
+	Ts  rtime.Duration // period
+	Rem rtime.Duration // cs(t): remaining capacity at time Now
+	Now rtime.Time     // t: current time (the event's arrival instant)
+}
+
+// OnlinePSResponse computes the response time of an aperiodic event served
+// by an ideal Polling Server running at the highest priority, following the
+// paper's equations (1)-(4): cape is Cape(t, dk), the total backlog to serve
+// up to and including the event (pending work ahead of it plus its own
+// cost); release is the event's release instant (ra <= Now).
+//
+// The equations in the paper contain an instance-indexing typo; this
+// implementation derives the same quantities (Fk full extra instances, Rk
+// remainder) and composes them so that the k-th future server activation
+// occurs at k*Ts, which the paper's examples require.
+func OnlinePSResponse(st PSServerState, cape rtime.Duration, release rtime.Time) rtime.Duration {
+	if cape <= 0 {
+		return 0
+	}
+	if st.Cs <= 0 || st.Ts <= 0 {
+		panic("analysis: server needs positive capacity and period")
+	}
+	if cape <= st.Rem {
+		// Equation (1), first case: served within the current instance.
+		return st.Now.Add(cape).Sub(release)
+	}
+	// Work left after the current instance's remaining capacity.
+	e := cape - st.Rem
+	full := rtime.DivCeil(e, st.Cs) // server instances still needed
+	rk := e - rtime.Duration(full-1)*st.Cs
+	// First future activation strictly after Now.
+	n0 := rtime.DivFloor(rtime.Duration(st.Now), st.Ts) + 1
+	finish := rtime.Time(rtime.Duration(n0+full-1) * st.Ts).Add(rk)
+	return finish.Sub(release)
+}
+
+// LimitedPSResponse is the paper's equation (5) for the implementation-
+// limited Polling Server: the event's handler runs in server instance ia
+// (an absolute instance index, activation at ia*Ts), after cumulated cost
+// cpa of the handlers scheduled before it in the same instance.
+func LimitedPSResponse(ts rtime.Duration, ia int64, cpa, ca rtime.Duration, release rtime.Time) rtime.Duration {
+	finish := rtime.Time(rtime.Duration(ia) * ts).Add(cpa + ca)
+	return finish.Sub(release)
+}
+
+// String renders a response table, convenient for the feasibility example.
+func (r Response) String() string {
+	status := "OK"
+	if !r.Feasible {
+		status = "MISS"
+	}
+	return fmt.Sprintf("%-8s C=%-6v T=%-6v D=%-6v J=%-6v R=%-6v %s",
+		r.Task.Name, r.Task.C, r.Task.T, r.Task.Deadline(), r.Task.J, r.R, status)
+}

@@ -1,0 +1,331 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rtsj/internal/rtime"
+)
+
+func tu(v float64) rtime.Duration { return rtime.TUs(v) }
+
+func TestResponseTimesClassicExample(t *testing.T) {
+	tasks := []Task{
+		{Name: "t1", C: tu(1), T: tu(4), Prio: 3},
+		{Name: "t2", C: tu(2), T: tu(6), Prio: 2},
+		{Name: "t3", C: tu(3), T: tu(12), Prio: 1},
+	}
+	rs := ResponseTimes(tasks)
+	want := []float64{1, 3, 10}
+	for i, r := range rs {
+		if !r.Feasible {
+			t.Errorf("%s infeasible", r.Task.Name)
+		}
+		if got := r.R.TUs(); got != want[i] {
+			t.Errorf("%s R = %v, want %v", r.Task.Name, got, want[i])
+		}
+	}
+}
+
+func TestResponseTimesInfeasible(t *testing.T) {
+	tasks := []Task{
+		{Name: "t1", C: tu(3), T: tu(4), Prio: 2},
+		{Name: "t2", C: tu(2), T: tu(6), Prio: 1},
+	}
+	rs := ResponseTimes(tasks)
+	if !rs[0].Feasible {
+		t.Error("t1 should be feasible")
+	}
+	if rs[1].Feasible {
+		t.Error("t2 should be infeasible (U > 1)")
+	}
+}
+
+func TestResponseTimesWithBlocking(t *testing.T) {
+	tasks := []Task{{Name: "t1", C: tu(2), T: tu(10), Prio: 1, B: tu(3)}}
+	rs := ResponseTimes(tasks)
+	if got := rs[0].R; got != tu(5) {
+		t.Errorf("R = %v, want 5tu", got)
+	}
+}
+
+func TestDSJitterAnalysis(t *testing.T) {
+	// DS Cs=2 Ts=5 at the highest priority; one periodic task C=2 T=10.
+	// Worst case: back-to-back server hits -> w = 2 + 2*2 = 6.
+	tasks := WithDeferrableServer(
+		[]Task{{Name: "t1", C: tu(2), T: tu(10), Prio: 1}},
+		tu(2), tu(5), 10)
+	rs := ResponseTimes(tasks)
+	var t1 Response
+	for _, r := range rs {
+		if r.Task.Name == "t1" {
+			t1 = r
+		}
+	}
+	if got := t1.R.TUs(); got != 6 {
+		t.Errorf("t1 R = %v, want 6 (double hit)", got)
+	}
+
+	// The same server treated as a plain periodic task (PS) interferes
+	// strictly less.
+	ps := WithPollingServer(
+		[]Task{{Name: "t1", C: tu(2), T: tu(10), Prio: 1}},
+		tu(2), tu(5), 10)
+	rsPS := ResponseTimes(ps)
+	for _, r := range rsPS {
+		if r.Task.Name == "t1" && r.R.TUs() != 4 {
+			t.Errorf("t1 under PS R = %v, want 4", r.R.TUs())
+		}
+	}
+}
+
+func TestLiuLaylandBound(t *testing.T) {
+	if got := LiuLaylandBound(1); got != 1 {
+		t.Errorf("bound(1) = %v", got)
+	}
+	if got := LiuLaylandBound(2); math.Abs(got-0.8284) > 1e-3 {
+		t.Errorf("bound(2) = %v", got)
+	}
+	if got := LiuLaylandBound(100); math.Abs(got-math.Ln2) > 0.01 {
+		t.Errorf("bound(100) = %v, want ~ln2", got)
+	}
+	if LiuLaylandBound(0) != 0 {
+		t.Error("bound(0) should be 0")
+	}
+}
+
+func TestDSUtilizationBound(t *testing.T) {
+	// With us = 0 the bound reduces to the Liu & Layland bound.
+	for n := 1; n <= 5; n++ {
+		if got, want := DSUtilizationBound(n, 0), LiuLaylandBound(n); math.Abs(got-want) > 1e-12 {
+			t.Errorf("n=%d: DS bound(us=0) = %v, want %v", n, got, want)
+		}
+	}
+	// The bound decreases as the server utilization grows.
+	prev := math.Inf(1)
+	for _, us := range []float64{0, 0.1, 0.2, 0.4, 0.8} {
+		b := DSUtilizationBound(3, us)
+		if b >= prev {
+			t.Errorf("DS bound not decreasing at us=%v: %v >= %v", us, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestHyperbolicDominatesLiuLayland(t *testing.T) {
+	// Any set accepted by Liu & Layland is accepted by the hyperbolic
+	// bound (Bini's result).
+	f := func(c1, c2, c3 uint8) bool {
+		tasks := []Task{
+			{C: tu(float64(c1%50)/100 + 0.01), T: tu(1), Prio: 3},
+			{C: tu(float64(c2%50)/100 + 0.01), T: tu(2), Prio: 2},
+			{C: tu(float64(c3%50)/100 + 0.01), T: tu(4), Prio: 1},
+		}
+		if FeasibleLiuLayland(tasks) && !FeasibleHyperbolic(tasks) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUtilizationBoundImpliesRTAFeasible(t *testing.T) {
+	// Sufficiency: sets under the Liu & Layland bound pass exact RTA
+	// (rate-monotonic priorities, implicit deadlines).
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(4)
+		tasks := make([]Task, n)
+		for i := range tasks {
+			period := 2 + rng.Intn(50)
+			tasks[i] = Task{
+				Name: "t" + string(rune('0'+i)),
+				C:    tu(0.05 + rng.Float64()*float64(period)/4),
+				T:    tu(float64(period)),
+			}
+		}
+		// Rate-monotonic priorities.
+		for i := range tasks {
+			prio := 0
+			for _, o := range tasks {
+				if o.T > tasks[i].T {
+					prio++
+				}
+			}
+			tasks[i].Prio = prio
+		}
+		if FeasibleLiuLayland(tasks) && !Feasible(tasks) {
+			t.Fatalf("trial %d: LL-accepted set fails RTA: %+v", trial, tasks)
+		}
+	}
+}
+
+func TestEDFFeasible(t *testing.T) {
+	feasible := []Task{
+		{C: tu(1), T: tu(4)},
+		{C: tu(2), T: tu(6)},
+		{C: tu(3), T: tu(12)},
+	}
+	if !EDFFeasible(feasible) {
+		t.Error("U=0.833 implicit-deadline set must be EDF-feasible")
+	}
+	over := []Task{{C: tu(3), T: tu(4)}, {C: tu(2), T: tu(6)}}
+	if EDFFeasible(over) {
+		t.Error("U>1 set cannot be feasible")
+	}
+	// Constrained deadline that fails demand analysis despite U<1.
+	tight := []Task{
+		{C: tu(2), T: tu(10), D: tu(2)},
+		{C: tu(1), T: tu(10), D: tu(2)},
+	}
+	if EDFFeasible(tight) {
+		t.Error("3 units of demand by t=2 cannot be met")
+	}
+	if !EDFFeasible(nil) {
+		t.Error("empty set is feasible")
+	}
+}
+
+func TestDemandBound(t *testing.T) {
+	tasks := []Task{{C: tu(2), T: tu(5), D: tu(4)}}
+	cases := []struct{ t, want float64 }{
+		{0, 0}, {3.9, 0}, {4, 2}, {8.9, 2}, {9, 4}, {14, 6},
+	}
+	for _, c := range cases {
+		if got := DemandBound(tasks, tu(c.t)); got != tu(c.want) {
+			t.Errorf("h(%v) = %v, want %v", c.t, got.TUs(), c.want)
+		}
+	}
+}
+
+func TestOnlinePSResponseCurrentInstance(t *testing.T) {
+	// Server Cs=4 Ts=6 with full capacity at t=0; backlog 3 fits: R = 3.
+	st := PSServerState{Cs: tu(4), Ts: tu(6), Rem: tu(4), Now: 0}
+	if got := OnlinePSResponse(st, tu(3), 0); got != tu(3) {
+		t.Errorf("R = %v, want 3tu", got)
+	}
+	// Released earlier (ra=0, now=2): response includes the wait.
+	st.Now = rtime.AtTU(2)
+	if got := OnlinePSResponse(st, tu(3), 0); got != tu(5) {
+		t.Errorf("R = %v, want 5tu", got)
+	}
+}
+
+func TestOnlinePSResponseFutureInstances(t *testing.T) {
+	// Cs=4 Ts=6, at t=0 with cs(t)=4, backlog 9: 4 now, 4 at the
+	// activation at 6, last unit at the activation at 12 -> finish 13.
+	st := PSServerState{Cs: tu(4), Ts: tu(6), Rem: tu(4), Now: 0}
+	if got := OnlinePSResponse(st, tu(9), 0); got != tu(13) {
+		t.Errorf("R = %v, want 13tu", got)
+	}
+	// Exhausted capacity: everything shifts to future instances.
+	st.Rem = 0
+	if got := OnlinePSResponse(st, tu(4), 0); got != tu(10) {
+		t.Errorf("R = %v, want 10tu (activation at 6 + 4)", got)
+	}
+	// Exact multiple: backlog 8 with cs=0 -> two full instances, finish
+	// 6+4 for the first, 12+4 for the second.
+	if got := OnlinePSResponse(st, tu(8), 0); got != tu(16) {
+		t.Errorf("R = %v, want 16tu", got)
+	}
+}
+
+func TestOnlinePSResponseZeroBacklog(t *testing.T) {
+	st := PSServerState{Cs: tu(4), Ts: tu(6), Rem: tu(4), Now: 0}
+	if got := OnlinePSResponse(st, 0, 0); got != 0 {
+		t.Errorf("R = %v, want 0", got)
+	}
+}
+
+func TestLimitedPSResponse(t *testing.T) {
+	// Instance 2 (activation at 12), 1tu of earlier handlers, cost 2,
+	// released at 4: R = 12 + 1 + 2 - 4 = 11.
+	if got := LimitedPSResponse(tu(6), 2, tu(1), tu(2), rtime.AtTU(4)); got != tu(11) {
+		t.Errorf("R = %v, want 11tu", got)
+	}
+}
+
+// Property: over *reachable* server states (a highest-priority PS consumes
+// its capacity greedily from each activation, so at offset o into a period
+// the remaining capacity is at most Cs - o), OnlinePSResponse is monotone
+// in the backlog and never below the time needed to serve the work itself.
+func TestOnlinePSResponseProperties(t *testing.T) {
+	f := func(rem8, cape8, k8, off8 uint8) bool {
+		const csTU, tsTU = 4, 6
+		remTU := int(rem8 % (csTU + 1)) // 0..4
+		// Reachable states of a busy highest-priority PS: the server has
+		// consumed exactly its offset into the period (rem = Cs - off), or
+		// its capacity is gone (rem = 0, any offset).
+		var off int
+		if remTU > 0 {
+			off = csTU - remTU
+		} else {
+			off = int(off8) % tsTU
+		}
+		now := rtime.AtTU(float64(int(k8%5)*tsTU + off))
+		st := PSServerState{Cs: tu(csTU), Ts: tu(tsTU), Rem: tu(float64(remTU)), Now: now}
+		cape := rtime.Duration(cape8%20+1) * rtime.TU
+		r1 := OnlinePSResponse(st, cape, 0)
+		r2 := OnlinePSResponse(st, cape+rtime.TU, 0)
+		if r2 < r1 {
+			return false
+		}
+		minimum := cape + rtime.Duration(now) // waited since release 0
+		return r1 >= minimum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBusyPeriod(t *testing.T) {
+	tasks := []Task{
+		{C: tu(1), T: tu(4)},
+		{C: tu(2), T: tu(6)},
+	}
+	// L = 1+2 = 3; ceil(3/4)*1+ceil(3/6)*2 = 3; fixpoint 3.
+	l, ok := BusyPeriod(tasks)
+	if !ok || l != tu(3) {
+		t.Errorf("busy period = %v ok=%v, want 3", l, ok)
+	}
+	// Denser set: t1 1/2, t2 2/5: L=3: ceil(3/2)+ceil(3/5)*2 = 2+2=4;
+	// L=4: 2+2=4... ceil(4/2)=2*1 + ceil(4/5)=1*2 = 4 ✓.
+	l2, ok2 := BusyPeriod([]Task{{C: tu(1), T: tu(2)}, {C: tu(2), T: tu(5)}})
+	if !ok2 || l2 != tu(4) {
+		t.Errorf("busy period = %v, want 4", l2)
+	}
+	if l, ok := BusyPeriod(nil); l != 0 || !ok {
+		t.Error("empty set")
+	}
+}
+
+func TestHyperperiod(t *testing.T) {
+	tasks := []Task{{T: tu(4)}, {T: tu(6)}, {T: tu(10)}}
+	h, ok := Hyperperiod(tasks)
+	if !ok || h != tu(60) {
+		t.Errorf("hyperperiod = %v, want 60", h)
+	}
+	if h, ok := Hyperperiod(nil); h != 0 || !ok {
+		t.Error("empty set")
+	}
+	// Overflow detection.
+	big := []Task{{T: rtime.Duration(1)<<62 - 1}, {T: rtime.Duration(1)<<61 - 1}}
+	if _, ok := Hyperperiod(big); ok {
+		t.Error("expected overflow")
+	}
+}
+
+func TestResponseString(t *testing.T) {
+	r := Response{Task: Task{Name: "t1", C: tu(1), T: tu(4)}, R: tu(1), Feasible: true}
+	if s := r.String(); s == "" {
+		t.Error("empty string")
+	}
+	r.Feasible = false
+	if s := r.String(); s == "" {
+		t.Error("empty string")
+	}
+}

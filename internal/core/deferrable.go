@@ -1,0 +1,129 @@
+package core
+
+import (
+	"rtsj/internal/exec"
+	"rtsj/internal/rtime"
+	"rtsj/internal/rtsjvm"
+)
+
+// DeferrableTaskServer implements the Deferrable Server policy of
+// Section 4.2.
+//
+// Unlike the polling server, the DS serves an aperiodic event as soon as it
+// occurs, provided it has capacity, so its run method cannot be delegated
+// to a periodic realtime thread. Instead it is delegated to an
+// AsyncEventHandler bound to a dedicated wakeUp event: each arrival fires
+// wakeUp if the server is not already running, and a periodic timer also
+// fires wakeUp (if not running) so deferred work resumes after each
+// capacity replenishment.
+//
+// The paper's budget-extension rule applies: when the service of the chosen
+// event would cross the next replenishment, the granted budget is the
+// remaining capacity plus a full fresh capacity.
+type DeferrableTaskServer struct {
+	serverCore
+	wakeUp    *rtsjvm.AsyncEvent
+	aeh       *rtsjvm.AsyncEventHandler
+	replTimer *rtsjvm.PeriodicTimer
+
+	running  bool
+	nextRepl rtime.Time
+}
+
+// NewDeferrableTaskServer creates and starts a deferrable server. As for
+// the polling server, the paper requires the highest priority.
+func NewDeferrableTaskServer(vm *rtsjvm.VM, name string, prio int, params *TaskServerParameters) *DeferrableTaskServer {
+	s := &DeferrableTaskServer{serverCore: newServerCore(vm, name, prio, params)}
+	s.capacity = params.Capacity() // the DS starts with full capacity
+	s.nextRepl = params.Start.Add(params.Period)
+	s.wakeUp = vm.NewAsyncEvent(name + ".wakeUp")
+	s.aeh = vm.NewAsyncEventHandler(name, prio, &params.PeriodicParameters, s.runOnce)
+	s.wakeUp.AddHandler(s.aeh)
+	// The periodic timer fires wakeUp at every replenishment boundary if
+	// the server is not already running.
+	s.replTimer = vm.NewPeriodicTimer(params.Start.Add(params.Period), params.Period,
+		rtsjvm.FirableFunc(func(tc *exec.TC) {
+			if !s.running {
+				s.wakeUp.Fire(tc)
+			}
+		}), name+".repl")
+	s.replTimer.Start()
+	return s
+}
+
+// ServableEventReleased implements TaskServer: register the handler and
+// wake the server if it is idle.
+func (s *DeferrableTaskServer) ServableEventReleased(tc *exec.TC, h *ServableAsyncEventHandler) {
+	s.register(tc, h)
+	if !s.running {
+		s.wakeUp.Fire(tc)
+	}
+}
+
+// recoverCapacity applies the replenishment boundaries crossed up to now.
+// The DS "recovers its capacity every period", but the recovery is executed
+// by the server's own wakeUp processing: boundaries passed while the server
+// was busy (or asleep) take effect at the next wakeUp, never mid-service.
+func (s *DeferrableTaskServer) recoverCapacity(now rtime.Time) {
+	for s.nextRepl <= now {
+		s.capacity = s.params.Capacity()
+		s.nextRepl = s.nextRepl.Add(s.params.Period)
+	}
+}
+
+// grantedBudget applies the Section 4.2 admission rule for one candidate:
+// the plain remaining capacity, or — when the service would cross the next
+// replenishment — the remaining capacity plus one full fresh capacity.
+func (s *DeferrableTaskServer) grantedBudget(now rtime.Time, h *ServableAsyncEventHandler) rtime.Duration {
+	if h.cost <= s.capacity {
+		return s.capacity
+	}
+	if now.Add(h.cost) > s.nextRepl {
+		return s.capacity + s.params.Capacity()
+	}
+	return s.capacity
+}
+
+// runOnce is the server's logic, released once per wakeUp fire: it drains
+// every admissible pending event, then returns (the handler thread waits
+// for the next fire).
+func (s *DeferrableTaskServer) runOnce(tc *exec.TC) {
+	s.running = true
+	defer func() { s.running = false }()
+	for {
+		s.recoverCapacity(tc.Now())
+		if oh := s.vm.Overheads().Dispatch; oh > 0 {
+			tc.Consume(oh)
+		}
+		now := tc.Now()
+		rel := s.firstFitting(func(h *ServableAsyncEventHandler) rtime.Duration {
+			return s.grantedBudget(now, h)
+		})
+		if rel == nil {
+			return
+		}
+		budget := s.grantedBudget(now, rel.h)
+		if budget > s.capacity {
+			// Budget extension: borrow the refill at the boundary the
+			// service will cross, so it is not granted a second time.
+			s.capacity += s.params.Capacity()
+			s.nextRepl = s.nextRepl.Add(s.params.Period)
+		}
+		elapsed := s.serve(tc, rel, budget)
+		// Plain wall-clock accounting, as the Java implementation's
+		// "measure the time passed in the run method and decrease the
+		// remaining capacity accordingly". May go negative on an
+		// interrupted extended service; the next recovery resets it.
+		s.capacity -= elapsed
+	}
+}
+
+// Interference implements the Section 3 proposal with the Deferrable
+// Server's modified analysis (Strosnider et al.): the server behaves like a
+// periodic task with release jitter Ts - Cs, allowing two back-to-back
+// capacities in a window — exactly what the centralized RTSJ feasibility
+// design cannot express.
+func (s *DeferrableTaskServer) Interference(w rtime.Duration) rtime.Duration {
+	j := s.params.Period - s.params.Capacity()
+	return rtime.Duration(rtime.DivCeil(w+j, s.params.Period)) * s.params.Capacity()
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"rtsj/internal/exec"
+	"rtsj/internal/rtime"
+	"rtsj/internal/rtsjvm"
+)
+
+// PollingTaskServer implements the Polling Server policy of Section 4.1.
+//
+// It encapsulates a RealtimeThread with PeriodicParameters. At each
+// periodic activation the server recovers its full capacity and serves
+// pending handlers: chooseNextEvent returns the first handler in the FIFO
+// list whose declared cost fits the remaining capacity; the handler runs
+// under a Timed budget equal to the remaining capacity and the measured
+// elapsed time is subtracted from the capacity. When no pending handler
+// fits, the server waits for its next period — losing its remaining
+// capacity, as a polling server must.
+//
+// Implementation constraints carried over from the paper: handlers are not
+// resumable, so an event is only started if its declared cost fits the
+// budget, and an interrupted handler is discarded.
+type PollingTaskServer struct {
+	serverCore
+	rt *rtsjvm.RealtimeThread
+	// admission is the optional Section 7 list-of-lists queue providing
+	// O(1) on-line response-time prediction.
+	admission *AdmissionQueue
+}
+
+// NewPollingTaskServer creates and starts a polling server. The paper
+// requires the server to be the highest-priority task in the system
+// (below only the VM's timer daemon).
+func NewPollingTaskServer(vm *rtsjvm.VM, name string, prio int, params *TaskServerParameters) *PollingTaskServer {
+	s := &PollingTaskServer{serverCore: newServerCore(vm, name, prio, params)}
+	s.rt = vm.NewRealtimeThread(name, prio, &params.PeriodicParameters, s.run)
+	return s
+}
+
+// UseAdmissionQueue switches the pending structure to the Section 7
+// list-of-lists queue, enabling constant-time response-time prediction at
+// registration (recorded in each EventRecord's Predicted field). Call
+// before the system runs.
+func (s *PollingTaskServer) UseAdmissionQueue() *PollingTaskServer {
+	s.admission = NewAdmissionQueue(s.params.Capacity(), s.params.Period)
+	s.admission.start = s.params.Start
+	return s
+}
+
+// ServableEventReleased implements TaskServer: it is called (in the firing
+// context) for each servable handler of a fired event. With the admission
+// queue enabled, the predicted response time is recorded — and if the
+// handler carries a deadline the prediction cannot meet, the event is
+// cancelled on the spot (Section 7: "...and possibly to cancel its
+// execution").
+func (s *PollingTaskServer) ServableEventReleased(tc *exec.TC, h *ServableAsyncEventHandler) {
+	rel := s.register(tc, h)
+	if s.admission == nil {
+		return
+	}
+	rel.rec.Predicted = s.admission.Register(tc.Now(), rel)
+	if h.deadline > 0 && (rel.rec.Predicted == Unservable || rel.rec.Predicted > h.deadline) {
+		s.admission.Cancel(rel)
+		s.removePending(rel)
+		rel.rec.Rejected = true
+	}
+}
+
+// run is the periodic server loop, delegated to the encapsulated realtime
+// thread.
+func (s *PollingTaskServer) run(r *rtsjvm.RTC) {
+	for {
+		s.capacity = s.params.Capacity()
+		if s.admission != nil {
+			s.admission.SyncInstance(instanceIndex(r.CurrentRelease(), s.params))
+		}
+		for {
+			if oh := s.vm.Overheads().Dispatch; oh > 0 {
+				r.Consume(oh)
+			}
+			rel := s.chooseNextEvent()
+			if rel == nil {
+				break
+			}
+			elapsed := s.serve(r.TC, rel, s.capacity)
+			if s.admission != nil {
+				s.admission.Remove(rel)
+			}
+			s.capacity -= elapsed
+			if s.capacity < 0 {
+				s.capacity = 0
+			}
+		}
+		if s.admission != nil {
+			s.admission.Closed()
+		}
+		r.WaitForNextPeriod()
+	}
+}
+
+// chooseNextEvent returns the next handler to serve, or nil if no pending
+// handler fits the remaining capacity.
+func (s *PollingTaskServer) chooseNextEvent() *release {
+	if s.capacity <= 0 {
+		return nil
+	}
+	if s.admission != nil {
+		return s.admission.Head(s.capacity)
+	}
+	return s.firstFitting(func(*ServableAsyncEventHandler) rtime.Duration { return s.capacity })
+}
+
+// Interference implements the Section 3 proposal: a polling server
+// interferes with lower-priority tasks exactly like a periodic task.
+func (s *PollingTaskServer) Interference(w rtime.Duration) rtime.Duration {
+	return rtime.Duration(rtime.DivCeil(w, s.params.Period)) * s.params.Capacity()
+}
+
+// instanceIndex returns the activation number of a release instant.
+func instanceIndex(release rtime.Time, params *TaskServerParameters) int64 {
+	return rtime.DivFloor(release.Sub(params.Start), params.Period)
+}

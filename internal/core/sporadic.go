@@ -1,0 +1,121 @@
+package core
+
+import (
+	"rtsj/internal/exec"
+	"rtsj/internal/rtime"
+	"rtsj/internal/rtsjvm"
+)
+
+// SporadicTaskServer is a third TaskServer policy built on the framework —
+// the Sporadic Server of Sprunt, Sha & Lehoczky, which the paper cites as
+// the SS policy. It demonstrates the framework's stated goal: "this allows
+// developers to write different behaviours for different task server
+// policies".
+//
+// Unlike the deferrable server's full periodic refill, the sporadic server
+// replenishes exactly what a serving burst consumed, one server period
+// after the burst began. It therefore never carries the DS's back-to-back
+// interference: for feasibility analysis it behaves like a plain periodic
+// task (Sprunt's result), which its Interference hook reports.
+//
+// Like the other framework servers it inherits the Java implementation
+// constraints: handlers are not resumable, admission is on declared cost,
+// and the Timed budget is the remaining capacity.
+type SporadicTaskServer struct {
+	serverCore
+	wakeUp *rtsjvm.AsyncEvent
+	aeh    *rtsjvm.AsyncEventHandler
+
+	running bool
+	repls   []sporadicRepl
+	inBurst bool
+	burstAt rtime.Time
+	used    rtime.Duration
+}
+
+type sporadicRepl struct {
+	at     rtime.Time
+	amount rtime.Duration
+}
+
+// NewSporadicTaskServer creates and starts a sporadic server.
+func NewSporadicTaskServer(vm *rtsjvm.VM, name string, prio int, params *TaskServerParameters) *SporadicTaskServer {
+	s := &SporadicTaskServer{serverCore: newServerCore(vm, name, prio, params)}
+	s.capacity = params.Capacity()
+	s.wakeUp = vm.NewAsyncEvent(name + ".wakeUp")
+	s.aeh = vm.NewAsyncEventHandler(name, prio, &params.PeriodicParameters, s.runOnce)
+	s.wakeUp.AddHandler(s.aeh)
+	return s
+}
+
+// ServableEventReleased implements TaskServer.
+func (s *SporadicTaskServer) ServableEventReleased(tc *exec.TC, h *ServableAsyncEventHandler) {
+	s.register(tc, h)
+	if !s.running {
+		s.wakeUp.Fire(tc)
+	}
+}
+
+// recover applies the replenishments due by now.
+func (s *SporadicTaskServer) recover(now rtime.Time) {
+	for len(s.repls) > 0 && s.repls[0].at <= now {
+		s.capacity += s.repls[0].amount
+		if s.capacity > s.params.Capacity() {
+			s.capacity = s.params.Capacity()
+		}
+		s.repls = s.repls[1:]
+	}
+}
+
+// closeBurst schedules the replenishment of what the burst consumed, one
+// period after it began, and arms a timer to wake the server then.
+func (s *SporadicTaskServer) closeBurst() {
+	if !s.inBurst {
+		return
+	}
+	s.inBurst = false
+	if s.used <= 0 {
+		return
+	}
+	at := s.burstAt.Add(s.params.Period)
+	s.repls = append(s.repls, sporadicRepl{at: at, amount: s.used})
+	s.used = 0
+	s.vm.FireAt(at, rtsjvm.FirableFunc(func(tc *exec.TC) {
+		if !s.running {
+			s.wakeUp.Fire(tc)
+		}
+	}), s.name+".repl")
+}
+
+// runOnce drains every admissible pending event, then closes the burst.
+func (s *SporadicTaskServer) runOnce(tc *exec.TC) {
+	s.running = true
+	defer func() { s.running = false }()
+	for {
+		s.recover(tc.Now())
+		if oh := s.vm.Overheads().Dispatch; oh > 0 {
+			tc.Consume(oh)
+		}
+		rel := s.firstFitting(func(*ServableAsyncEventHandler) rtime.Duration { return s.capacity })
+		if rel == nil {
+			s.closeBurst()
+			return
+		}
+		if !s.inBurst {
+			s.inBurst = true
+			s.burstAt = tc.Now()
+		}
+		elapsed := s.serve(tc, rel, s.capacity)
+		s.capacity -= elapsed
+		if s.capacity < 0 {
+			s.capacity = 0
+		}
+		s.used += elapsed
+	}
+}
+
+// Interference implements the Section 3 hook: a sporadic server interferes
+// like a plain periodic task.
+func (s *SporadicTaskServer) Interference(w rtime.Duration) rtime.Duration {
+	return rtime.Duration(rtime.DivCeil(w, s.params.Period)) * s.params.Capacity()
+}

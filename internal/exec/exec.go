@@ -1,0 +1,476 @@
+// Package exec is a deterministic virtual-time executive: it runs goroutines
+// as preemptive fixed-priority threads over a simulated clock.
+//
+// This is the substrate that replaces the paper's execution platform (the
+// RTSJ reference implementation on a real-time Linux kernel). Go's garbage
+// collector and goroutine scheduler preclude faithful hard real-time
+// behaviour on the wall clock, so instead the executive virtualizes time:
+// threads declare CPU demand with Consume, and the kernel advances a virtual
+// clock, preempting and interleaving exactly as a uniprocessor
+// fixed-priority scheduler would. Everything the paper's measurements depend
+// on — preemption by higher-priority timer threads, asynchronous
+// interruption of a budgeted section (Timed/AIE), wall-clock capacity
+// accounting — is reproduced exactly and deterministically.
+//
+// Mechanics: thread bodies are goroutines, but exactly one runs at a time.
+// The kernel hands control to a thread with a channel send and waits for the
+// thread's next kernel call; code between kernel calls executes in zero
+// virtual time. Virtual time only advances while a thread is inside Consume
+// or when the processor is idle.
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"rtsj/internal/rtime"
+	"rtsj/internal/trace"
+)
+
+type threadState int
+
+const (
+	stateNew threadState = iota
+	stateReady
+	stateSleeping
+	stateBlocked
+	stateDone
+)
+
+// resumeMsg is what the kernel sends a parked thread goroutine.
+type resumeMsg struct {
+	interrupted bool // the pending Consume was asynchronously interrupted
+	kill        bool // the executive is shutting down; unwind now
+}
+
+type reqKind int
+
+const (
+	reqConsume reqKind = iota
+	reqSleep
+	reqWait
+	reqTerminate
+)
+
+type request struct {
+	th   *Thread
+	kind reqKind
+
+	// consume
+	amount rtime.Duration
+
+	// sleep
+	until rtime.Time
+
+	// wait
+	queue *WaitQueue
+
+	// terminate
+	err error
+}
+
+// Thread is a schedulable entity of the executive.
+type Thread struct {
+	ex   *Exec
+	name string
+	prio int
+
+	state    threadState
+	readySeq int64
+	wakeAt   rtime.Time
+
+	resumeCh chan resumeMsg
+
+	// Consume state.
+	needCPU  rtime.Duration
+	consumed rtime.Duration // total CPU consumed, for accounting
+
+	// Budgeted-section (Timed) state.
+	inBudget      bool
+	pendingIntr   bool
+	intrDelivered bool
+
+	// Priority-inheritance state.
+	boost     int
+	held      []*Mutex
+	waitingOn *Mutex
+
+	label string
+	body  func(tc *TC)
+	err   error
+}
+
+// Name returns the thread's trace row name.
+func (th *Thread) Name() string { return th.name }
+
+// Priority returns the thread's fixed priority (larger is higher).
+func (th *Thread) Priority() int { return th.prio }
+
+// Consumed returns the total virtual CPU time the thread has consumed.
+func (th *Thread) Consumed() rtime.Duration { return th.consumed }
+
+// Done reports whether the thread has terminated.
+func (th *Thread) Done() bool { return th.state == stateDone }
+
+// Err returns the error a thread terminated with (a panic in its body).
+func (th *Thread) Err() error { return th.err }
+
+// timerEv is a kernel time event: at instant at, run fn in kernel context.
+// Kernel functions must be tiny (wake a thread, set a flag); anything that
+// costs CPU must be modeled as a thread.
+type timerEv struct {
+	at        rtime.Time
+	seq       int64
+	fn        func()
+	cancelled bool
+}
+
+// WaitQueue is a FIFO queue of blocked threads, the executive's only
+// blocking primitive (condition-variable style: wait / notify).
+type WaitQueue struct {
+	name    string
+	waiters []*Thread
+}
+
+// NewWaitQueue returns a named wait queue.
+func NewWaitQueue(name string) *WaitQueue { return &WaitQueue{name: name} }
+
+// Exec is the virtual-time executive. Create with New, add threads with
+// Spawn, then call Run.
+type Exec struct {
+	now     rtime.Time
+	threads []*Thread
+	timers  []*timerEv
+	tr      *trace.Trace
+
+	reqCh    chan request
+	seq      int64
+	running  bool
+	shutdown bool
+	errs     []error
+}
+
+// New returns an executive tracing into tr (may be nil).
+func New(tr *trace.Trace) *Exec {
+	if tr == nil {
+		tr = trace.New()
+	}
+	return &Exec{tr: tr, reqCh: make(chan request)}
+}
+
+// Trace returns the execution trace.
+func (ex *Exec) Trace() *trace.Trace { return ex.tr }
+
+// Now returns the current virtual time. Safe to call from thread bodies.
+func (ex *Exec) Now() rtime.Time { return ex.now }
+
+// Spawn creates a thread that becomes ready at startAt. The body runs in its
+// own goroutine but under the executive's scheduling discipline.
+func (ex *Exec) Spawn(name string, prio int, startAt rtime.Time, body func(tc *TC)) *Thread {
+	th := &Thread{
+		ex:       ex,
+		name:     name,
+		prio:     prio,
+		boost:    prio,
+		state:    stateNew,
+		resumeCh: make(chan resumeMsg),
+		body:     body,
+	}
+	ex.threads = append(ex.threads, th)
+	ex.tr.DeclareEntity(name)
+	go th.run()
+	if startAt <= ex.now {
+		ex.makeReady(th)
+	} else {
+		th.state = stateSleeping
+		th.wakeAt = startAt
+		ex.At(startAt, func() { ex.makeReady(th) })
+	}
+	return th
+}
+
+// run is the goroutine wrapper around a thread body.
+func (th *Thread) run() {
+	msg := <-th.resumeCh
+	if msg.kill {
+		th.ex.reqCh <- request{th: th, kind: reqTerminate}
+		return
+	}
+	defer func() {
+		var err error
+		if r := recover(); r != nil {
+			if _, isKill := r.(killSentinel); !isKill {
+				err = fmt.Errorf("exec: thread %s panicked: %v", th.name, r)
+			}
+		}
+		th.ex.reqCh <- request{th: th, kind: reqTerminate, err: err}
+	}()
+	th.body(&TC{th: th})
+}
+
+type killSentinel struct{}
+
+// aieSentinel models the AsynchronouslyInterruptedException unwinding a
+// Timed section.
+type aieSentinel struct{}
+
+// At schedules fn to run in kernel context at instant at (>= now). It
+// returns a cancel function. Safe to call before Run and from thread bodies.
+func (ex *Exec) At(at rtime.Time, fn func()) (cancel func()) {
+	if at < ex.now {
+		at = ex.now
+	}
+	ev := &timerEv{at: at, seq: ex.nextSeq(), fn: fn}
+	ex.timers = append(ex.timers, ev)
+	return func() { ev.cancelled = true }
+}
+
+func (ex *Exec) nextSeq() int64 {
+	ex.seq++
+	return ex.seq
+}
+
+func (ex *Exec) makeReady(th *Thread) {
+	if th.state == stateDone {
+		return
+	}
+	th.state = stateReady
+	th.readySeq = ex.nextSeq()
+}
+
+// pickReady returns the highest-priority ready thread (FIFO within a
+// priority level by wake order), or nil.
+func (ex *Exec) pickReady() *Thread {
+	var best *Thread
+	for _, th := range ex.threads {
+		if th.state != stateReady {
+			continue
+		}
+		if best == nil || th.effPrio() > best.effPrio() ||
+			(th.effPrio() == best.effPrio() && th.readySeq < best.readySeq) {
+			best = th
+		}
+	}
+	return best
+}
+
+// nextTimer returns the earliest pending timer, or nil.
+func (ex *Exec) nextTimer() *timerEv {
+	var best *timerEv
+	for _, ev := range ex.timers {
+		if ev.cancelled {
+			continue
+		}
+		if best == nil || ev.at < best.at || (ev.at == best.at && ev.seq < best.seq) {
+			best = ev
+		}
+	}
+	return best
+}
+
+// fireDueTimers runs every timer due at or before now, in (time, seq) order.
+func (ex *Exec) fireDueTimers() {
+	for {
+		var due []*timerEv
+		rest := ex.timers[:0]
+		for _, ev := range ex.timers {
+			if !ev.cancelled && ev.at <= ex.now {
+				due = append(due, ev)
+			} else if !ev.cancelled {
+				rest = append(rest, ev)
+			}
+		}
+		ex.timers = rest
+		if len(due) == 0 {
+			return
+		}
+		sort.Slice(due, func(i, j int) bool {
+			if due[i].at != due[j].at {
+				return due[i].at < due[j].at
+			}
+			return due[i].seq < due[j].seq
+		})
+		for _, ev := range due {
+			ev.fn() // may schedule new timers; loop again
+		}
+	}
+}
+
+// Run advances virtual time until the horizon, or until the system
+// quiesces (no ready thread and no pending timer). It returns the first
+// thread body error, if any.
+func (ex *Exec) Run(until rtime.Time) error {
+	if ex.running {
+		return fmt.Errorf("exec: Run called re-entrantly")
+	}
+	ex.running = true
+	defer func() { ex.running = false }()
+
+	zeroSteps := 0
+	lastNow := ex.now
+	for ex.now < until {
+		ex.fireDueTimers()
+		th := ex.pickReady()
+		if th == nil {
+			ev := ex.nextTimer()
+			if ev == nil {
+				break // quiescent: nothing will ever happen again
+			}
+			ex.now = rtime.Min(ev.at, until)
+			continue
+		}
+		if th.needCPU > 0 {
+			ex.runSlice(th, until)
+			continue
+		}
+		// Zero-time step: let the thread execute Go code until its next
+		// kernel call.
+		if ex.now == lastNow {
+			zeroSteps++
+			if zeroSteps > 1_000_000 {
+				return fmt.Errorf("exec: livelock at %v: thread %s loops without consuming",
+					ex.now, th.name)
+			}
+		} else {
+			zeroSteps = 0
+			lastNow = ex.now
+		}
+		th.resumeCh <- resumeMsg{}
+		req := <-ex.reqCh
+		ex.handle(req)
+	}
+	if ex.now > until {
+		ex.now = until
+	}
+	// Drain zero-time work pending at the horizon instant: a consume that
+	// finished exactly at the horizon must still return to its thread so
+	// completion bookkeeping (e.g. a server marking a handler served) is
+	// observable — the discrete-event simulator records such completions,
+	// and the two engines must agree at the boundary.
+	for steps := 0; steps < 1_000_000; steps++ {
+		th := ex.pickReadyZeroCPU()
+		if th == nil {
+			break
+		}
+		th.resumeCh <- resumeMsg{}
+		req := <-ex.reqCh
+		ex.handle(req)
+	}
+	if len(ex.errs) > 0 {
+		return ex.errs[0]
+	}
+	return nil
+}
+
+// pickReadyZeroCPU returns the highest-priority ready thread that is not
+// mid-consume (used by the horizon drain).
+func (ex *Exec) pickReadyZeroCPU() *Thread {
+	var best *Thread
+	for _, th := range ex.threads {
+		if th.state != stateReady || th.needCPU > 0 {
+			continue
+		}
+		if best == nil || th.effPrio() > best.effPrio() ||
+			(th.effPrio() == best.effPrio() && th.readySeq < best.readySeq) {
+			best = th
+		}
+	}
+	return best
+}
+
+// handle processes one kernel request from a thread.
+func (ex *Exec) handle(req request) {
+	th := req.th
+	switch req.kind {
+	case reqConsume:
+		th.needCPU = req.amount
+	case reqSleep:
+		if req.until <= ex.now {
+			// Already due: stay ready (deterministic re-queue).
+			ex.makeReady(th)
+			return
+		}
+		th.state = stateSleeping
+		th.wakeAt = req.until
+		ex.At(req.until, func() {
+			if th.state == stateSleeping {
+				ex.makeReady(th)
+			}
+		})
+	case reqWait:
+		th.state = stateBlocked
+		if req.queue != nil {
+			req.queue.waiters = append(req.queue.waiters, th)
+		}
+		// A nil queue is a bare suspension (mutex hand-off): the waker
+		// calls makeReady explicitly.
+	case reqTerminate:
+		th.state = stateDone
+		if req.err != nil {
+			th.err = req.err
+			ex.errs = append(ex.errs, req.err)
+		}
+	}
+}
+
+// runSlice advances time while th consumes CPU, stopping at the next timer
+// or the horizon (whichever comes first) so preemption can occur.
+func (ex *Exec) runSlice(th *Thread, until rtime.Time) {
+	stop := until
+	if ev := ex.nextTimer(); ev != nil {
+		stop = rtime.Min(stop, ev.at)
+	}
+	delta := rtime.MinDur(th.needCPU, stop.Sub(ex.now))
+	if delta <= 0 {
+		// A timer due exactly now; fire it on the next loop iteration.
+		return
+	}
+	ex.tr.Run(th.name, ex.now, ex.now.Add(delta), th.label)
+	ex.now = ex.now.Add(delta)
+	th.needCPU -= delta
+	th.consumed += delta
+}
+
+// interruptNow delivers an asynchronous interrupt to th's budgeted section:
+// if th is consuming, the consume aborts; the interrupt stays pending until
+// the section ends otherwise. While the thread holds any lock the delivery
+// is deferred — the RTSJ defers AsynchronouslyInterruptedException inside
+// synchronized code, so critical sections never unwind half-way (Unlock
+// re-arms the delivery).
+func (ex *Exec) interruptNow(th *Thread) {
+	if !th.inBudget || th.state == stateDone {
+		return
+	}
+	th.pendingIntr = true
+	if len(th.held) > 0 {
+		return
+	}
+	if th.state == stateReady && th.needCPU > 0 {
+		// Abort the in-progress consume; the thread will observe the
+		// interruption when next scheduled.
+		th.needCPU = 0
+		th.intrDelivered = true
+	}
+}
+
+// Shutdown unwinds every live thread goroutine. Call after Run to avoid
+// goroutine leaks when many executives are created (e.g. in benchmarks).
+func (ex *Exec) Shutdown() {
+	ex.shutdown = true
+	for _, th := range ex.threads {
+		if th.state == stateDone {
+			continue
+		}
+		th.resumeCh <- resumeMsg{kill: true}
+		req := <-ex.reqCh
+		if req.kind != reqTerminate {
+			// The kill unwinds to the terminate request; anything else is
+			// a protocol bug.
+			panic(fmt.Sprintf("exec: thread %s sent %d during shutdown", req.th.name, req.kind))
+		}
+		req.th.state = stateDone
+	}
+}
+
+// Errors returns all thread body errors observed.
+func (ex *Exec) Errors() []error { return ex.errs }

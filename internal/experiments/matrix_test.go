@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rtsj/internal/sim"
+)
+
+func TestPolicyMatrixOrdering(t *testing.T) {
+	m, err := RunPolicyMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range SetKeys {
+		bg := m.Cells[sim.NoServer][key]
+		slack := m.Cells[sim.SlackStealer][key]
+		ps := m.Cells[sim.PollingServer][key]
+		ds := m.Cells[sim.DeferrableServer][key]
+		pe := m.Cells[sim.PriorityExchange][key]
+
+		// The paper's sets carry no periodic tasks, so background and
+		// slack stealing both serve with the whole processor: identical.
+		if bg.AART != slack.AART || bg.ASR != slack.ASR {
+			t.Errorf("%s: BG %v vs SLACK %v should coincide without periodics", key, bg, slack)
+		}
+		// Bandwidth-limited policies: DS reacts immediately, PE preserves
+		// capacity between polls, PS discards it — so AART orders
+		// DS <= PE <= PS.
+		if !(ds.AART <= pe.AART+1e-9 && pe.AART <= ps.AART+1e-9) {
+			t.Errorf("%s: want DS<=PE<=PS, got DS=%.2f PE=%.2f PS=%.2f",
+				key, ds.AART, pe.AART, ps.AART)
+		}
+		// Nothing serves more than the unconstrained baseline.
+		for _, pol := range MatrixPolicies {
+			if m.Cells[pol][key].ASR > bg.ASR+1e-9 {
+				t.Errorf("%s: %v ASR %.2f above the BG baseline %.2f",
+					key, pol, m.Cells[pol][key].ASR, bg.ASR)
+			}
+		}
+	}
+	out := m.Format()
+	for _, pol := range MatrixPolicies {
+		if !strings.Contains(out, pol.String()) {
+			t.Errorf("format missing %v:\n%s", pol, out)
+		}
+	}
+}

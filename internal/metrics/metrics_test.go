@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rtsj/internal/core"
+	"rtsj/internal/rtime"
+	"rtsj/internal/sim"
+)
+
+func ev(rel, fin float64, served, interrupted bool) Event {
+	return Event{
+		Released:    rtime.AtTU(rel),
+		Finished:    rtime.AtTU(fin),
+		Served:      served,
+		Interrupted: interrupted,
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	events := []Event{
+		ev(0, 3, true, false),
+		ev(2, 9, true, false),
+		ev(4, 6, false, true),
+		ev(10, 0, false, false),
+	}
+	s := Summarize(events)
+	if s.Total != 4 || s.Served != 2 || s.Interrupted != 1 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.AvgResponse != 5 { // (3 + 7) / 2
+		t.Errorf("AvgResponse = %v, want 5", s.AvgResponse)
+	}
+	if s.MaxResponse != 7 {
+		t.Errorf("MaxResponse = %v, want 7", s.MaxResponse)
+	}
+	if s.ServedRatio != 0.5 || s.InterruptedRatio != 0.25 {
+		t.Errorf("ratios: %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Total != 0 || s.AvgResponse != 0 || s.ServedRatio != 0 {
+		t.Errorf("empty summary: %+v", s)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	set := Aggregate([]Summary{
+		{AvgResponse: 4, ServedRatio: 0.5, InterruptedRatio: 0.1},
+		{AvgResponse: 8, ServedRatio: 1.0, InterruptedRatio: 0.3},
+	})
+	if set.AART != 6 || set.ASR != 0.75 || math.Abs(set.AIR-0.2) > 1e-12 || set.Systems != 2 {
+		t.Errorf("aggregate: %+v", set)
+	}
+	if Aggregate(nil).Systems != 0 {
+		t.Error("empty aggregate")
+	}
+	if s := set.String(); s == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestFromSimResult(t *testing.T) {
+	sys := sim.System{
+		Aperiodics: []sim.AperiodicJob{
+			{Name: "a", Release: 0, Cost: rtime.TUs(2)},
+		},
+		Server: &sim.ServerSpec{Policy: sim.DeferrableServer,
+			Capacity: rtime.TUs(3), Period: rtime.TUs(6), Priority: 10},
+	}
+	r, err := sim.Run(sys, sim.NewFP(sys, nil), rtime.AtTU(12), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := FromSimResult(r)
+	if len(evs) != 1 || !evs[0].Served || evs[0].Response() != 2 {
+		t.Fatalf("events: %+v", evs)
+	}
+}
+
+func TestFromRecords(t *testing.T) {
+	recs := []*core.EventRecord{
+		{Handler: "h1", Released: rtime.AtTU(1), Finished: rtime.AtTU(4), Served: true},
+		{Handler: "h2", Released: rtime.AtTU(2), Finished: rtime.AtTU(5), Interrupted: true},
+	}
+	evs := FromRecords(recs)
+	if len(evs) != 2 {
+		t.Fatal("length")
+	}
+	if !evs[0].Served || evs[0].Response() != 3 {
+		t.Errorf("h1: %+v", evs[0])
+	}
+	if evs[1].Served || !evs[1].Interrupted || evs[1].Response() != 0 {
+		t.Errorf("h2: %+v", evs[1])
+	}
+}
+
+func TestResponsePercentile(t *testing.T) {
+	var events []Event
+	for i := 1; i <= 10; i++ {
+		events = append(events, ev(0, float64(i), true, false))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {10, 1}, {50, 5}, {90, 9}, {100, 10},
+	}
+	for _, c := range cases {
+		if got := ResponsePercentile(events, c.p); got != c.want {
+			t.Errorf("p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := ResponsePercentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+	unserved := []Event{ev(0, 5, false, false)}
+	if got := ResponsePercentile(unserved, 50); got != 0 {
+		t.Errorf("unserved-only percentile = %v", got)
+	}
+}
+
+// Property: ratios stay in [0,1], AvgResponse is within [min,max] response.
+func TestSummarizeProperties(t *testing.T) {
+	f := func(spec []uint8) bool {
+		var events []Event
+		for i, b := range spec {
+			served := b&1 == 1
+			interrupted := !served && b&2 == 2
+			events = append(events, ev(float64(i), float64(i)+float64(b%16)+1, served, interrupted))
+		}
+		s := Summarize(events)
+		if s.ServedRatio < 0 || s.ServedRatio > 1 || s.InterruptedRatio < 0 || s.InterruptedRatio > 1 {
+			return false
+		}
+		if s.Served+0 > s.Total || s.Interrupted > s.Total {
+			return false
+		}
+		return s.AvgResponse <= s.MaxResponse+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

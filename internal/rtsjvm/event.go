@@ -1,0 +1,127 @@
+package rtsjvm
+
+import (
+	"rtsj/internal/exec"
+)
+
+// AsyncEvent mirrors javax.realtime.AsyncEvent: an event that, when fired,
+// releases all its attached handlers.
+type AsyncEvent struct {
+	name     string
+	vm       *VM
+	handlers []*AsyncEventHandler
+}
+
+// NewAsyncEvent creates an asynchronous event.
+func (vm *VM) NewAsyncEvent(name string) *AsyncEvent {
+	return &AsyncEvent{name: name, vm: vm}
+}
+
+// Name returns the event name.
+func (e *AsyncEvent) Name() string { return e.name }
+
+// VM returns the owning virtual machine.
+func (e *AsyncEvent) VM() *VM { return e.vm }
+
+// AddHandler attaches a handler, as AsyncEvent.addHandler.
+func (e *AsyncEvent) AddHandler(h *AsyncEventHandler) {
+	e.handlers = append(e.handlers, h)
+}
+
+// RemoveHandler detaches a handler.
+func (e *AsyncEvent) RemoveHandler(h *AsyncEventHandler) {
+	for i, x := range e.handlers {
+		if x == h {
+			e.handlers = append(e.handlers[:i], e.handlers[i+1:]...)
+			return
+		}
+	}
+}
+
+// Handlers returns the attached handlers.
+func (e *AsyncEvent) Handlers() []*AsyncEventHandler { return e.handlers }
+
+// Fire releases every attached handler. It implements Firable so timers can
+// fire events; application threads may also fire events directly from their
+// own context.
+func (e *AsyncEvent) Fire(tc *exec.TC) {
+	for _, h := range e.handlers {
+		h.Release(tc)
+	}
+}
+
+// AsyncEventHandler mirrors javax.realtime.AsyncEventHandler: a schedulable
+// object with a fire count, backed by a dedicated server thread that runs
+// the handler logic once per release.
+type AsyncEventHandler struct {
+	name    string
+	vm      *VM
+	prio    int
+	release ReleaseParameters
+	logic   func(tc *exec.TC)
+
+	fireCount int
+	released  int
+	handled   int
+	q         *exec.WaitQueue
+	th        *exec.Thread
+}
+
+// NewAsyncEventHandler creates a handler whose logic runs at the given
+// priority each time a bound event fires. release may be nil (plain
+// aperiodic, not analyzable — the situation the paper's framework fixes).
+func (vm *VM) NewAsyncEventHandler(name string, prio int, release ReleaseParameters, logic func(tc *exec.TC)) *AsyncEventHandler {
+	h := &AsyncEventHandler{
+		name:    name,
+		vm:      vm,
+		prio:    prio,
+		release: release,
+		logic:   logic,
+		q:       exec.NewWaitQueue(name),
+	}
+	h.th = vm.ex.Spawn(name, prio, 0, h.body)
+	return h
+}
+
+func (h *AsyncEventHandler) body(tc *exec.TC) {
+	for {
+		for h.fireCount == 0 {
+			tc.Wait(h.q)
+		}
+		h.fireCount--
+		h.logic(tc)
+		h.handled++
+	}
+}
+
+// Release increments the fire count and wakes the handler's thread,
+// charging the release overhead to the firing context.
+func (h *AsyncEventHandler) Release(tc *exec.TC) {
+	if oh := h.vm.oh.EventRelease; oh > 0 {
+		tc.Consume(oh)
+	}
+	h.fireCount++
+	h.released++
+	h.vm.ex.NotifyAll(h.q)
+}
+
+// Name returns the handler name.
+func (h *AsyncEventHandler) Name() string { return h.name }
+
+// FireCount returns the pending (unhandled) fire count.
+func (h *AsyncEventHandler) FireCount() int { return h.fireCount }
+
+// ReleasedCount returns the total number of releases.
+func (h *AsyncEventHandler) ReleasedCount() int { return h.released }
+
+// HandledCount returns the number of completed executions of the logic.
+func (h *AsyncEventHandler) HandledCount() int { return h.handled }
+
+// SchedulableName implements Schedulable.
+func (h *AsyncEventHandler) SchedulableName() string { return h.name }
+
+// SchedulablePriority implements Schedulable.
+func (h *AsyncEventHandler) SchedulablePriority() int { return h.prio }
+
+// SchedulableRelease implements Schedulable.
+func (h *AsyncEventHandler) SchedulableRelease() ReleaseParameters { return h.release }

@@ -1,0 +1,33 @@
+package rtsjvm
+
+import (
+	"rtsj/internal/exec"
+)
+
+// Monitor models an RTSJ synchronized monitor. The RTSJ mandates a
+// priority-inversion avoidance protocol for all monitors, with priority
+// inheritance (javax.realtime.PriorityInheritance) as the required
+// default; NewMonitorNoAvoidance builds the unprotected variant to
+// demonstrate why the mandate exists.
+type Monitor struct {
+	mu *exec.Mutex
+}
+
+// NewMonitor creates a priority-inheritance monitor.
+func (vm *VM) NewMonitor(name string) *Monitor {
+	return &Monitor{mu: exec.NewMutex(name)}
+}
+
+// NewMonitorNoAvoidance creates a monitor without inversion avoidance.
+func (vm *VM) NewMonitorNoAvoidance(name string) *Monitor {
+	return &Monitor{mu: exec.NewMutexNoInherit(name)}
+}
+
+// Enter acquires the monitor.
+func (m *Monitor) Enter(tc *exec.TC) { tc.Lock(m.mu) }
+
+// Exit releases the monitor.
+func (m *Monitor) Exit(tc *exec.TC) { tc.Unlock(m.mu) }
+
+// Synchronized runs fn holding the monitor, like a synchronized block.
+func (m *Monitor) Synchronized(tc *exec.TC, fn func()) { tc.WithLock(m.mu, fn) }

@@ -1,0 +1,65 @@
+package rtsjvm
+
+import (
+	"testing"
+
+	"rtsj/internal/rtime"
+)
+
+func TestMonitorSynchronized(t *testing.T) {
+	vm := newTestVM(Overheads{})
+	mon := vm.NewMonitor("m")
+	var order []string
+	mk := func(name string, prio int, start float64) {
+		vm.NewRealtimeThread(name, prio, nil, func(r *RTC) {
+			r.SleepUntil(at(start))
+			mon.Synchronized(r.TC, func() {
+				order = append(order, name)
+				r.Consume(tu(2))
+			})
+		})
+	}
+	mk("first", 1, 0)
+	mk("second", 5, 1)
+	runVM(t, vm, 20)
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestMonitorInheritanceProtectsDeadline(t *testing.T) {
+	measure := func(inherit bool) rtime.Time {
+		vm := newTestVM(Overheads{})
+		var mon *Monitor
+		if inherit {
+			mon = vm.NewMonitor("bus")
+		} else {
+			mon = vm.NewMonitorNoAvoidance("bus")
+		}
+		var hiDone rtime.Time
+		vm.NewRealtimeThread("lo", 1, nil, func(r *RTC) {
+			mon.Synchronized(r.TC, func() { r.Consume(tu(3)) })
+		})
+		vm.NewRealtimeThread("mid", 5, nil, func(r *RTC) {
+			r.SleepUntil(at(2))
+			r.Consume(tu(4))
+		})
+		vm.NewRealtimeThread("hi", 9, nil, func(r *RTC) {
+			r.SleepUntil(at(1))
+			mon.Enter(r.TC)
+			r.Consume(tu(1))
+			mon.Exit(r.TC)
+			hiDone = r.Now()
+		})
+		runVM(t, vm, 30)
+		return hiDone
+	}
+	with := measure(true)
+	without := measure(false)
+	if with != at(4) {
+		t.Errorf("with PI: hi done at %v, want 4", with.TUs())
+	}
+	if without != at(8) {
+		t.Errorf("without PI: hi done at %v, want 8", without.TUs())
+	}
+}

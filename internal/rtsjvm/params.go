@@ -1,0 +1,144 @@
+package rtsjvm
+
+import (
+	"rtsj/internal/exec"
+	"rtsj/internal/rtime"
+)
+
+// ReleaseParameters describes the release pattern of a schedulable object,
+// mirroring javax.realtime.ReleaseParameters.
+type ReleaseParameters interface {
+	// ReleaseCost is the declared worst-case execution time per release.
+	ReleaseCost() rtime.Duration
+	// ReleaseDeadline is the relative deadline (0: none / same as period).
+	ReleaseDeadline() rtime.Duration
+	// ReleasePeriod is the period, or the minimum interarrival time for
+	// sporadic releases; 0 for unbounded aperiodic releases.
+	ReleasePeriod() rtime.Duration
+}
+
+// PeriodicParameters mirrors javax.realtime.PeriodicParameters.
+type PeriodicParameters struct {
+	Start    rtime.Time
+	Period   rtime.Duration
+	Cost     rtime.Duration
+	Deadline rtime.Duration
+}
+
+// ReleaseCost implements ReleaseParameters.
+func (p *PeriodicParameters) ReleaseCost() rtime.Duration { return p.Cost }
+
+// ReleaseDeadline implements ReleaseParameters.
+func (p *PeriodicParameters) ReleaseDeadline() rtime.Duration {
+	if p.Deadline > 0 {
+		return p.Deadline
+	}
+	return p.Period
+}
+
+// ReleasePeriod implements ReleaseParameters.
+func (p *PeriodicParameters) ReleasePeriod() rtime.Duration { return p.Period }
+
+// AperiodicParameters mirrors javax.realtime.AperiodicParameters: releases
+// with no arrival bound, which is why the RTSJ cannot include plain
+// aperiodic handlers in feasibility analysis (Section 3 of the paper).
+type AperiodicParameters struct {
+	Cost     rtime.Duration
+	Deadline rtime.Duration
+}
+
+// ReleaseCost implements ReleaseParameters.
+func (p *AperiodicParameters) ReleaseCost() rtime.Duration { return p.Cost }
+
+// ReleaseDeadline implements ReleaseParameters.
+func (p *AperiodicParameters) ReleaseDeadline() rtime.Duration { return p.Deadline }
+
+// ReleasePeriod implements ReleaseParameters: no bound.
+func (p *AperiodicParameters) ReleasePeriod() rtime.Duration { return 0 }
+
+// SporadicParameters mirrors javax.realtime.SporadicParameters: aperiodic
+// releases with a minimum interarrival time, analyzable as a periodic task
+// at the worst-case occurring frequency.
+type SporadicParameters struct {
+	AperiodicParameters
+	MinInterarrival rtime.Duration
+}
+
+// ReleasePeriod implements ReleaseParameters using the interarrival bound.
+func (p *SporadicParameters) ReleasePeriod() rtime.Duration { return p.MinInterarrival }
+
+// ProcessingGroupParameters mirrors javax.realtime.ProcessingGroupParameters:
+// a periodically replenished cost budget shared by a group of schedulables.
+//
+// The paper (after Burns & Wellings) criticizes PGP on two grounds this
+// type makes concrete: no server policy is attached to the budget, and cost
+// enforcement is an optional VM feature — "without this feature, PGP are
+// useless". Construct with Enforcing=false to reproduce the reference
+// implementation's behaviour, where the group budget has no effect at all.
+type ProcessingGroupParameters struct {
+	vm        *VM
+	Start     rtime.Time
+	Period    rtime.Duration
+	Cost      rtime.Duration
+	Enforcing bool
+
+	curPeriod int64
+	used      rtime.Duration
+}
+
+// NewProcessingGroupParameters creates a group budget. enforcing selects
+// whether the VM implements cost enforcement (optional per the RTSJ).
+func (vm *VM) NewProcessingGroupParameters(start rtime.Time, period, cost rtime.Duration, enforcing bool) *ProcessingGroupParameters {
+	if period <= 0 {
+		panic("rtsjvm: processing group period must be positive")
+	}
+	return &ProcessingGroupParameters{
+		vm: vm, Start: start, Period: period, Cost: cost, Enforcing: enforcing,
+	}
+}
+
+// refresh lazily replenishes the budget at period boundaries.
+func (g *ProcessingGroupParameters) refresh(now rtime.Time) {
+	p := rtime.DivFloor(now.Sub(g.Start), g.Period)
+	if p > g.curPeriod {
+		g.curPeriod = p
+		g.used = 0
+	}
+}
+
+// Remaining returns the group budget left in the current period.
+func (g *ProcessingGroupParameters) Remaining(now rtime.Time) rtime.Duration {
+	g.refresh(now)
+	if g.used >= g.Cost {
+		return 0
+	}
+	return g.Cost - g.used
+}
+
+// ConsumeGoverned consumes d units of CPU on behalf of a group member.
+// With enforcement, the member is descheduled whenever the group budget is
+// exhausted, resuming after the next replenishment. Without enforcement the
+// call degenerates to a plain Consume: the budget is tracked but never
+// acted upon — the RTSJ reference implementation behaviour the paper calls
+// out.
+func (g *ProcessingGroupParameters) ConsumeGoverned(tc *exec.TC, d rtime.Duration) {
+	if !g.Enforcing {
+		g.refresh(tc.Now())
+		g.used += d // accounting only; no effect
+		tc.Consume(d)
+		return
+	}
+	for d > 0 {
+		g.refresh(tc.Now())
+		avail := g.Cost - g.used
+		if avail <= 0 {
+			next := g.Start.Add(rtime.Duration(g.curPeriod+1) * g.Period)
+			tc.SleepUntil(next)
+			continue
+		}
+		chunk := rtime.MinDur(d, avail)
+		tc.Consume(chunk)
+		g.used += chunk
+		d -= chunk
+	}
+}

@@ -1,0 +1,149 @@
+package rtsjvm
+
+import (
+	"rtsj/internal/rtime"
+)
+
+// Schedulable mirrors javax.realtime.Schedulable: an object the scheduler
+// can reason about. RealtimeThread, AsyncEventHandler and the framework's
+// TaskServer implement it.
+type Schedulable interface {
+	SchedulableName() string
+	SchedulablePriority() int
+	// SchedulableRelease returns the object's release parameters; nil when
+	// unknown (such an object cannot be analyzed).
+	SchedulableRelease() ReleaseParameters
+}
+
+// InterferenceProvider is the extension the paper proposes in Section 3:
+// "each schedulable object should have a getInterference() method, which
+// would be called by the Scheduler feasibility methods". A schedulable that
+// implements it contributes policy-specific interference to lower-priority
+// tasks — for example a Deferrable Server reports its back-to-back hit,
+// which the centralized RTSJ analysis cannot express.
+type InterferenceProvider interface {
+	// Interference returns the worst-case processor time this schedulable
+	// can steal from a lower-priority task over a window w.
+	Interference(w rtime.Duration) rtime.Duration
+}
+
+// FeasibilityResult is the per-schedulable outcome of the scheduler's
+// analysis.
+type FeasibilityResult struct {
+	Name       string
+	Priority   int
+	Analyzable bool // false for unbounded aperiodic releases
+	R          rtime.Duration
+	Deadline   rtime.Duration
+	Feasible   bool
+}
+
+// PriorityScheduler mirrors javax.realtime.PriorityScheduler, holding the
+// feasibility set and running response-time analysis over it.
+type PriorityScheduler struct {
+	set []Schedulable
+}
+
+// NewPriorityScheduler returns an empty scheduler.
+func NewPriorityScheduler() *PriorityScheduler { return &PriorityScheduler{} }
+
+// AddToFeasibility adds obj to the feasibility set, as
+// Schedulable.addToFeasibility.
+func (s *PriorityScheduler) AddToFeasibility(obj Schedulable) {
+	s.set = append(s.set, obj)
+}
+
+// RemoveFromFeasibility removes obj; it reports whether obj was present.
+func (s *PriorityScheduler) RemoveFromFeasibility(obj Schedulable) bool {
+	for i, x := range s.set {
+		if x == obj {
+			s.set = append(s.set[:i], s.set[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// FeasibilitySet returns the current set.
+func (s *PriorityScheduler) FeasibilitySet() []Schedulable { return s.set }
+
+// interferenceOf returns obj's interference over a window w: the
+// InterferenceProvider hook when implemented, else the classical periodic
+// bound ceil(w/T)*C.
+func interferenceOf(obj Schedulable, w rtime.Duration) (rtime.Duration, bool) {
+	if p, ok := obj.(InterferenceProvider); ok {
+		return p.Interference(w), true
+	}
+	rp := obj.SchedulableRelease()
+	if rp == nil || rp.ReleasePeriod() <= 0 {
+		return 0, false // unbounded: cannot be bounded in a window
+	}
+	return rtime.Duration(rtime.DivCeil(w, rp.ReleasePeriod())) * rp.ReleaseCost(), true
+}
+
+// ResponseTimes runs fixed-priority response-time analysis over the
+// feasibility set, using each schedulable's interference hook. Objects with
+// unbounded releases (plain AperiodicParameters or nil) are reported
+// Analyzable=false; if such an object has priority above an analyzed task,
+// that task is unanalyzable too — reproducing the paper's point that the
+// only way to include a plain handler in the feasibility process is to know
+// its worst-case occurring frequency.
+func (s *PriorityScheduler) ResponseTimes() []FeasibilityResult {
+	out := make([]FeasibilityResult, 0, len(s.set))
+	for i, obj := range s.set {
+		rp := obj.SchedulableRelease()
+		res := FeasibilityResult{
+			Name:     obj.SchedulableName(),
+			Priority: obj.SchedulablePriority(),
+		}
+		if rp == nil || rp.ReleasePeriod() <= 0 || rp.ReleaseCost() <= 0 {
+			out = append(out, res)
+			continue
+		}
+		res.Deadline = rp.ReleaseDeadline()
+		if res.Deadline <= 0 {
+			res.Deadline = rp.ReleasePeriod()
+		}
+		w := rp.ReleaseCost()
+		analyzable := true
+		converged := false
+		for iter := 0; iter < 10_000 && analyzable; iter++ {
+			next := rp.ReleaseCost()
+			for k, other := range s.set {
+				if k == i || other.SchedulablePriority() < obj.SchedulablePriority() {
+					continue
+				}
+				intf, ok := interferenceOf(other, w)
+				if !ok {
+					analyzable = false
+					break
+				}
+				next += intf
+			}
+			if next == w {
+				converged = true
+				break
+			}
+			w = next
+			if w > res.Deadline {
+				break // diverged past the deadline
+			}
+		}
+		res.Analyzable = analyzable
+		res.R = w
+		res.Feasible = analyzable && converged && w <= res.Deadline
+		out = append(out, res)
+	}
+	return out
+}
+
+// IsFeasible reports whether every member of the feasibility set is
+// analyzable and meets its deadline.
+func (s *PriorityScheduler) IsFeasible() bool {
+	for _, r := range s.ResponseTimes() {
+		if !r.Feasible {
+			return false
+		}
+	}
+	return true
+}

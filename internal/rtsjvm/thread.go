@@ -1,0 +1,82 @@
+package rtsjvm
+
+import (
+	"rtsj/internal/exec"
+	"rtsj/internal/rtime"
+)
+
+// RealtimeThread mirrors javax.realtime.RealtimeThread: a fixed-priority
+// thread, optionally with periodic release parameters.
+type RealtimeThread struct {
+	vm   *VM
+	name string
+	prio int
+	pp   *PeriodicParameters
+	th   *exec.Thread
+}
+
+// RTC is the context passed to a realtime thread's body; it extends the
+// executive's thread context with RTSJ-style periodic release handling.
+type RTC struct {
+	*exec.TC
+	rt   *RealtimeThread
+	next rtime.Time
+	// Missed counts skipped activations (deadline-miss style overruns).
+	Missed int
+}
+
+// NewRealtimeThread creates and starts a realtime thread. With periodic
+// parameters the thread is released at pp.Start; otherwise it starts
+// immediately. The body typically loops on WaitForNextPeriod.
+func (vm *VM) NewRealtimeThread(name string, prio int, pp *PeriodicParameters, body func(*RTC)) *RealtimeThread {
+	rt := &RealtimeThread{vm: vm, name: name, prio: prio, pp: pp}
+	start := vm.ex.Now()
+	if pp != nil && pp.Start > start {
+		start = pp.Start
+	}
+	first := start
+	rt.th = vm.ex.Spawn(name, prio, start, func(tc *exec.TC) {
+		body(&RTC{TC: tc, rt: rt, next: first})
+	})
+	return rt
+}
+
+// Thread exposes the underlying executive thread.
+func (rt *RealtimeThread) Thread() *exec.Thread { return rt.th }
+
+// SchedulableName implements Schedulable.
+func (rt *RealtimeThread) SchedulableName() string { return rt.name }
+
+// SchedulablePriority implements Schedulable.
+func (rt *RealtimeThread) SchedulablePriority() int { return rt.prio }
+
+// SchedulableRelease implements Schedulable.
+func (rt *RealtimeThread) SchedulableRelease() ReleaseParameters {
+	if rt.pp == nil {
+		return nil
+	}
+	return rt.pp
+}
+
+// WaitForNextPeriod suspends the thread until its next periodic release.
+// If the thread overran past one or more releases, those activations are
+// skipped (the next release strictly after now is used) and the method
+// returns false, mirroring the RTSJ's deadline-miss handling for the
+// default (no miss handler) configuration.
+func (r *RTC) WaitForNextPeriod() bool {
+	if r.rt.pp == nil || r.rt.pp.Period <= 0 {
+		panic("rtsjvm: WaitForNextPeriod on a non-periodic thread")
+	}
+	r.next = r.next.Add(r.rt.pp.Period)
+	onTime := true
+	for r.next < r.Now() {
+		r.next = r.next.Add(r.rt.pp.Period)
+		r.Missed++
+		onTime = false
+	}
+	r.SleepUntil(r.next)
+	return onTime
+}
+
+// CurrentRelease returns the activation instant of the current period.
+func (r *RTC) CurrentRelease() rtime.Time { return r.next }

@@ -1,0 +1,90 @@
+package rtsjvm
+
+import (
+	"rtsj/internal/rtime"
+)
+
+// OneShotTimer mirrors javax.realtime.OneShotTimer: it fires an event once
+// at an absolute instant, through the timer daemon (which charges the
+// timer-fire overhead at the highest priority).
+type OneShotTimer struct {
+	vm      *VM
+	at      rtime.Time
+	target  Firable
+	label   string
+	cancel  func()
+	started bool
+}
+
+// NewOneShotTimer creates a timer firing target at instant at. The label
+// annotates the timer daemon's trace segments. Call Start to arm it.
+func (vm *VM) NewOneShotTimer(at rtime.Time, target Firable, label string) *OneShotTimer {
+	return &OneShotTimer{vm: vm, at: at, target: target, label: label}
+}
+
+// Start arms the timer.
+func (t *OneShotTimer) Start() {
+	if t.started {
+		return
+	}
+	t.started = true
+	t.cancel = t.vm.FireAt(t.at, t.target, t.label)
+}
+
+// Stop disarms the timer; returns false if it was not armed.
+func (t *OneShotTimer) Stop() bool {
+	if !t.started || t.cancel == nil {
+		return false
+	}
+	t.cancel()
+	t.cancel = nil
+	return true
+}
+
+// PeriodicTimer mirrors javax.realtime.PeriodicTimer: it fires an event at
+// start and then every interval, through the timer daemon.
+type PeriodicTimer struct {
+	vm       *VM
+	start    rtime.Time
+	interval rtime.Duration
+	target   Firable
+	label    string
+	stopped  bool
+	started  bool
+	cancel   func()
+}
+
+// NewPeriodicTimer creates a periodic timer. Call Start to arm it.
+func (vm *VM) NewPeriodicTimer(start rtime.Time, interval rtime.Duration, target Firable, label string) *PeriodicTimer {
+	if interval <= 0 {
+		panic("rtsjvm: periodic timer interval must be positive")
+	}
+	return &PeriodicTimer{vm: vm, start: start, interval: interval, target: target, label: label}
+}
+
+// Start arms the timer.
+func (t *PeriodicTimer) Start() {
+	if t.started {
+		return
+	}
+	t.started = true
+	t.arm(t.start)
+}
+
+func (t *PeriodicTimer) arm(at rtime.Time) {
+	t.cancel = t.vm.ex.At(at, func() {
+		if t.stopped {
+			return
+		}
+		t.vm.enqueueFire(t.target, t.label)
+		t.arm(at.Add(t.interval))
+	})
+}
+
+// Stop disarms the timer permanently.
+func (t *PeriodicTimer) Stop() {
+	t.stopped = true
+	if t.cancel != nil {
+		t.cancel()
+	}
+}

@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtsj/internal/rtime"
+	"rtsj/internal/trace"
+)
+
+func apJob(name string, rel, cost, dl, value float64) AperiodicJob {
+	return AperiodicJob{
+		Name:     name,
+		Release:  rtime.AtTU(rel),
+		Cost:     rtime.TUs(cost),
+		Deadline: rtime.TUs(dl),
+		Value:    value,
+	}
+}
+
+func runDOver(t *testing.T, sys System, horizonTU float64) *Result {
+	t.Helper()
+	tr := trace.New()
+	r, err := Run(sys, NewDOver(sys, tr), rtime.AtTU(horizonTU), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckSingleCPU(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// On an underloaded system D-OVER behaves exactly like EDF.
+func TestDOverEqualsEDFUnderload(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		var sys System
+		rel := 0.0
+		for i := 0; i < 2+rng.Intn(5); i++ {
+			rel += rng.Float64() * 4
+			cost := 0.5 + rng.Float64()*2
+			// Generous deadlines keep the system underloaded.
+			sys.Aperiodics = append(sys.Aperiodics,
+				apJob("j"+string(rune('0'+i)), rel, cost, cost*4+8, 0))
+			rel += cost // serialize releases enough to avoid overload
+		}
+
+		trE := trace.New()
+		re, err := Run(sys, NewEDF(), rtime.AtTU(100), trE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd := runDOver(t, sys, 100)
+
+		ej, dj := re.Aperiodics(), rd.Aperiodics()
+		for i := range ej {
+			if ej[i].Finished != dj[i].Finished {
+				t.Fatalf("trial %d: job %s finished mismatch", trial, ej[i].Name)
+			}
+			if ej[i].Finished && ej[i].Finish != dj[i].Finish {
+				t.Fatalf("trial %d: job %s finish %v (EDF) vs %v (D-OVER)",
+					trial, ej[i].Name, ej[i].Finish, dj[i].Finish)
+			}
+		}
+	}
+}
+
+// Under overload, a high-value latecomer displaces low-value work.
+func TestDOverHighValueWins(t *testing.T) {
+	sys := System{Aperiodics: []AperiodicJob{
+		apJob("cheap", 0, 4, 5, 1),
+		apJob("precious", 1, 4, 5, 100),
+	}}
+	r := runDOver(t, sys, 20)
+	jobs := r.Aperiodics()
+	cheap, precious := jobs[0], jobs[1]
+	if !precious.Finished {
+		t.Error("high-value job should complete")
+	}
+	// precious wins its LST conflict at t=2 and runs to completion at t=6,
+	// exactly its absolute deadline (release 1 + relative deadline 5).
+	if precious.Finished && precious.Finish > rtime.AtTU(6) {
+		t.Errorf("precious finished at %v, after its deadline", precious.Finish.TUs())
+	}
+	if cheap.Finished {
+		t.Error("cheap job cannot also complete in this overload")
+	}
+	if !cheap.Aborted {
+		t.Error("cheap job should have been abandoned")
+	}
+}
+
+// A low-value latecomer is abandoned rather than displacing running work.
+func TestDOverLowValueAbandoned(t *testing.T) {
+	sys := System{Aperiodics: []AperiodicJob{
+		apJob("big", 0, 4, 5, 100),
+		apJob("small", 1, 4, 5, 1),
+	}}
+	r := runDOver(t, sys, 20)
+	jobs := r.Aperiodics()
+	big, small := jobs[0], jobs[1]
+	if !big.Finished {
+		t.Error("high-value running job should complete")
+	}
+	if !small.Aborted || small.Finished {
+		t.Error("low-value critical job should be abandoned")
+	}
+}
+
+// A job whose deadline passes while waiting is abandoned and marked.
+func TestDOverLateJobAbandoned(t *testing.T) {
+	sys := System{Aperiodics: []AperiodicJob{
+		apJob("runner", 0, 6, 20, 50),
+		apJob("hopeless", 1, 2, 1.5, 1), // deadline at 2.5, LST before release+0.5
+	}}
+	r := runDOver(t, sys, 20)
+	jobs := r.Aperiodics()
+	if !jobs[1].Aborted {
+		t.Error("hopeless job should be abandoned")
+	}
+}
+
+// Three simultaneous conflicting jobs: D-OVER's (1+sqrt(k)) guarantee factor
+// makes it keep the running job when challengers are not valuable enough,
+// and switch when one clearly dominates.
+func TestDOverThreeWayConflict(t *testing.T) {
+	// Values too close: both challengers fail the (1+sqrt(k)) test and the
+	// incumbent (first by EDF tie-break) completes.
+	sys := System{Aperiodics: []AperiodicJob{
+		apJob("a", 0, 2, 3, 2),
+		apJob("b", 0, 2, 3, 3),
+		apJob("c", 0, 2, 3, 4),
+	}}
+	r := runDOver(t, sys, 10)
+	jobs := r.Aperiodics()
+	if !jobs[0].Finished {
+		t.Error("incumbent a should complete when challengers fail the value test")
+	}
+	if got := CompletedValue(r); got != 2 {
+		t.Errorf("completed value = %v, want 2", got)
+	}
+
+	// A dominating challenger displaces the incumbent.
+	sys2 := System{Aperiodics: []AperiodicJob{
+		apJob("a", 0, 2, 3, 2),
+		apJob("b", 0, 2, 3, 3),
+		apJob("c", 0, 2, 3, 40),
+	}}
+	r2 := runDOver(t, sys2, 10)
+	jobs2 := r2.Aperiodics()
+	if !jobs2[2].Finished {
+		t.Error("dominating job c should complete")
+	}
+	if jobs2[0].Finished || jobs2[1].Finished {
+		t.Error("displaced jobs cannot complete in this overload")
+	}
+	busy := r2.Trace.TotalBusy()
+	if busy < rtime.TUs(2) {
+		t.Errorf("processor busy only %v", busy)
+	}
+}
+
+func TestDOverImportanceRatio(t *testing.T) {
+	sys := System{Aperiodics: []AperiodicJob{
+		apJob("a", 0, 1, 5, 1), // density 1
+		apJob("b", 0, 1, 5, 4), // density 4
+	}}
+	d := NewDOver(sys, nil)
+	if got := d.K(); got != 4 {
+		t.Errorf("K = %v, want 4", got)
+	}
+	// Uniform values: k = 1.
+	sysU := System{Aperiodics: []AperiodicJob{
+		apJob("a", 0, 2, 5, 0),
+		apJob("b", 0, 3, 5, 0),
+	}}
+	if got := NewDOver(sysU, nil).K(); got != 1 {
+		t.Errorf("uniform K = %v, want 1", got)
+	}
+}
+
+func TestCompletedValueDefaultsToCost(t *testing.T) {
+	sys := System{Aperiodics: []AperiodicJob{apJob("a", 0, 2, 10, 0)}}
+	r := runDOver(t, sys, 10)
+	if got := CompletedValue(r); got != 2 {
+		t.Errorf("CompletedValue = %v, want 2 (cost in tu)", got)
+	}
+}

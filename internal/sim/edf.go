@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"rtsj/internal/rtime"
+)
+
+// dlHeap is a binary min-heap of jobs ordered by (absolute deadline asc,
+// seq asc).
+type dlHeap struct{ a []*Job }
+
+func (h *dlHeap) less(i, j int) bool {
+	if h.a[i].AbsDL != h.a[j].AbsDL {
+		return h.a[i].AbsDL < h.a[j].AbsDL
+	}
+	return h.a[i].seq < h.a[j].seq
+}
+
+func (h *dlHeap) swap(i, j int) { h.a[i], h.a[j] = h.a[j], h.a[i] }
+
+func (h *dlHeap) push(j *Job) {
+	h.a = append(h.a, j)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *dlHeap) peek() *Job {
+	if len(h.a) == 0 {
+		return nil
+	}
+	return h.a[0]
+}
+
+func (h *dlHeap) remove(j *Job) bool {
+	for i, x := range h.a {
+		if x == j {
+			h.a[i] = h.a[len(h.a)-1]
+			h.a = h.a[:len(h.a)-1]
+			old := h.a
+			h.a = nil
+			for _, y := range old {
+				h.push(y)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// EDF is the earliest-deadline-first dispatcher of RTSS. Aperiodic jobs
+// without a deadline sort last (deadline at infinity), i.e. they are served
+// in the background of the deadline-constrained load.
+type EDF struct {
+	ready dlHeap
+}
+
+// NewEDF builds an EDF dispatcher.
+func NewEDF() *EDF { return &EDF{} }
+
+// Name implements Dispatcher.
+func (d *EDF) Name() string { return "EDF" }
+
+// Release implements Dispatcher.
+func (d *EDF) Release(now rtime.Time, j *Job) { d.ready.push(j) }
+
+// Tick implements Dispatcher.
+func (d *EDF) Tick(rtime.Time) {}
+
+// Pick implements Dispatcher.
+func (d *EDF) Pick(rtime.Time) (*Job, rtime.Duration) { return d.ready.peek(), 0 }
+
+// NextEvent implements Dispatcher.
+func (d *EDF) NextEvent(rtime.Time) rtime.Time { return rtime.Never }
+
+// Consumed implements Dispatcher.
+func (d *EDF) Consumed(rtime.Time, *Job, rtime.Duration) {}
+
+// Completed implements Dispatcher.
+func (d *EDF) Completed(now rtime.Time, j *Job) {
+	if !d.ready.remove(j) {
+		panic("sim: EDF completed unknown job")
+	}
+}

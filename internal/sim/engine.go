@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"rtsj/internal/rtime"
+	"rtsj/internal/trace"
+)
+
+// Dispatcher is a scheduling policy plugged into the engine. The engine owns
+// time and job generation; the dispatcher owns the ready state and decides
+// who runs.
+//
+// Protocol, at every decision instant `now`:
+//  1. the engine delivers all releases due at now via Release;
+//  2. the engine calls Tick(now) so the dispatcher processes its internal
+//     events (replenishments, latest-start-time expiries, ...);
+//  3. the engine calls Pick(now) and runs the returned job for at most
+//     maxSlice, bounded also by the next release, the next internal event
+//     (NextEvent) and the horizon;
+//  4. consumed time is reported via Consumed; completion via Completed.
+//
+// After Tick(now) returns, NextEvent must be strictly after now.
+type Dispatcher interface {
+	Name() string
+	Release(now rtime.Time, j *Job)
+	Tick(now rtime.Time)
+	Pick(now rtime.Time) (j *Job, maxSlice rtime.Duration)
+	NextEvent(now rtime.Time) rtime.Time
+	Consumed(now rtime.Time, j *Job, delta rtime.Duration)
+	Completed(now rtime.Time, j *Job)
+}
+
+// IdleObserver is an optional Dispatcher extension: the engine reports
+// intervals during which the processor idled. The Priority Exchange server
+// needs it (idle time consumes preserved capacity).
+type IdleObserver interface {
+	Idle(now rtime.Time, delta rtime.Duration)
+}
+
+// Result collects everything measured during a run.
+type Result struct {
+	Trace *trace.Trace
+	// Jobs holds every job instance created during the run, in release
+	// order (ties: periodic before aperiodic, then creation order).
+	Jobs []*Job
+	// PeriodicMisses counts periodic job deadline misses.
+	PeriodicMisses int
+	Horizon        rtime.Time
+}
+
+// Aperiodics returns the aperiodic job records.
+func (r *Result) Aperiodics() []*Job {
+	var out []*Job
+	for _, j := range r.Jobs {
+		if !j.Periodic {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Periodics returns the periodic job records.
+func (r *Result) Periodics() []*Job {
+	var out []*Job
+	for _, j := range r.Jobs {
+		if j.Periodic {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Run simulates sys under the dispatcher until the horizon and returns the
+// result. The trace may be nil, in which case a fresh one is allocated.
+func Run(sys System, d Dispatcher, horizon rtime.Time, tr *trace.Trace) (*Result, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if tr == nil {
+		tr = trace.New()
+	}
+	e := &engine{
+		sys:     sys,
+		d:       d,
+		horizon: horizon,
+		tr:      tr,
+	}
+	e.init()
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+	return &Result{Trace: tr, Jobs: e.jobs, PeriodicMisses: e.misses, Horizon: horizon}, nil
+}
+
+type engine struct {
+	sys     System
+	d       Dispatcher
+	horizon rtime.Time
+	tr      *trace.Trace
+
+	now     rtime.Time
+	nextRel []rtime.Time // next release per periodic task
+	apSort  []int        // aperiodic indices sorted by release
+	apNext  int
+	jobs    []*Job
+	active  []*Job // periodic jobs released and unfinished (for miss check)
+	misses  int
+	seq     int64
+}
+
+func (e *engine) init() {
+	e.nextRel = make([]rtime.Time, len(e.sys.Periodics))
+	for i, t := range e.sys.Periodics {
+		e.nextRel[i] = t.Offset
+		e.tr.DeclareEntity(t.Name)
+	}
+	e.apSort = make([]int, len(e.sys.Aperiodics))
+	for i := range e.apSort {
+		e.apSort[i] = i
+	}
+	sort.SliceStable(e.apSort, func(a, b int) bool {
+		return e.sys.Aperiodics[e.apSort[a]].Release < e.sys.Aperiodics[e.apSort[b]].Release
+	})
+}
+
+// nextReleaseTime returns the earliest future release instant.
+func (e *engine) nextReleaseTime() rtime.Time {
+	t := rtime.Never
+	for _, r := range e.nextRel {
+		t = rtime.Min(t, r)
+	}
+	if e.apNext < len(e.apSort) {
+		t = rtime.Min(t, e.sys.Aperiodics[e.apSort[e.apNext]].Release)
+	}
+	return t
+}
+
+// deliverReleases creates and delivers all jobs released at or before now.
+func (e *engine) deliverReleases() {
+	// Periodic releases first (deterministic: task order).
+	for i := range e.sys.Periodics {
+		for e.nextRel[i] <= e.now {
+			t := &e.sys.Periodics[i]
+			rel := e.nextRel[i]
+			j := &Job{
+				Name:      fmt.Sprintf("%s#%d", t.Name, int64(rel/rtime.Time(t.Period))+1),
+				Periodic:  true,
+				Release:   rel,
+				AbsDL:     rel.Add(t.RelDeadline()),
+				Cost:      t.Cost,
+				Remaining: t.Cost,
+				Priority:  t.Priority,
+				Entity:    t.Name,
+				seq:       e.seq,
+				taskIdx:   i,
+				apIdx:     -1,
+			}
+			e.seq++
+			e.nextRel[i] = rel.Add(t.Period)
+			e.jobs = append(e.jobs, j)
+			e.active = append(e.active, j)
+			e.tr.Mark(t.Name, rel, trace.Arrival, j.Name)
+			e.d.Release(rel, j)
+		}
+	}
+	for e.apNext < len(e.apSort) {
+		idx := e.apSort[e.apNext]
+		a := &e.sys.Aperiodics[idx]
+		if a.Release > e.now {
+			break
+		}
+		name := a.Name
+		if name == "" {
+			name = fmt.Sprintf("J%d", idx+1)
+		}
+		dl := rtime.Forever
+		if a.Deadline > 0 {
+			dl = a.Release.Add(a.Deadline)
+		}
+		j := &Job{
+			Name:      name,
+			Release:   a.Release,
+			AbsDL:     dl,
+			Cost:      a.Cost,
+			Declared:  a.DeclaredCost(),
+			Value:     a.value(),
+			Remaining: a.Cost,
+			Entity:    name, // dispatcher may reattribute to the server row
+			seq:       e.seq,
+			taskIdx:   -1,
+			apIdx:     idx,
+		}
+		e.seq++
+		e.apNext++
+		e.jobs = append(e.jobs, j)
+		e.d.Release(a.Release, j)
+		e.tr.Mark(j.Entity, a.Release, trace.Arrival, name)
+	}
+}
+
+func (e *engine) run() error {
+	guard := 0
+	for e.now < e.horizon {
+		e.deliverReleases()
+		e.d.Tick(e.now)
+
+		j, maxSlice := e.d.Pick(e.now)
+
+		tNext := rtime.Min(e.horizon, e.nextReleaseTime())
+		tNext = rtime.Min(tNext, e.d.NextEvent(e.now))
+
+		if j == nil {
+			if tNext <= e.now {
+				return fmt.Errorf("sim: dispatcher %s reports event at %v not after now=%v",
+					e.d.Name(), tNext, e.now)
+			}
+			if obs, ok := e.d.(IdleObserver); ok {
+				obs.Idle(tNext, tNext.Sub(e.now))
+			}
+			e.now = tNext
+			continue
+		}
+
+		slice := rtime.MinDur(j.Remaining, tNext.Sub(e.now))
+		if maxSlice > 0 {
+			slice = rtime.MinDur(slice, maxSlice)
+		}
+		if slice <= 0 {
+			guard++
+			if guard > 4 {
+				return fmt.Errorf("sim: no progress at %v running %s (dispatcher %s)",
+					e.now, j.Name, e.d.Name())
+			}
+			continue
+		}
+		guard = 0
+
+		entity, label := j.Entity, j.Label
+		e.tr.Run(entity, e.now, e.now.Add(slice), label)
+		j.Started = true
+		j.Remaining -= slice
+		end := e.now.Add(slice)
+		e.d.Consumed(end, j, slice)
+		e.now = end
+
+		if j.Remaining == 0 && !j.Aborted {
+			j.Finished = true
+			j.Finish = e.now
+			e.tr.Mark(entity, e.now, trace.Completion, j.Name)
+			if j.Periodic && j.AbsDL != rtime.Forever && e.now > j.AbsDL {
+				e.misses++
+				e.tr.Mark(entity, j.AbsDL, trace.DeadlineMiss, j.Name)
+			}
+			e.d.Completed(e.now, j)
+		} else if j.Aborted {
+			e.tr.Mark(entity, e.now, trace.Interrupted, j.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtsj/internal/rtime"
+	"rtsj/internal/trace"
+)
+
+func peSystem(aperiodics []AperiodicJob) System {
+	return System{
+		Periodics: []PeriodicTask{
+			{Name: "tau1", Period: rtime.TUs(10), Cost: rtime.TUs(2), Priority: 5},
+		},
+		Aperiodics: aperiodics,
+		Server: &ServerSpec{Name: "PE", Policy: PriorityExchange,
+			Capacity: rtime.TUs(1), Period: rtime.TUs(5), Priority: 10},
+	}
+}
+
+// Capacity exchanged to a lower level is preserved and serves a later
+// arrival immediately — where a polling server would have discarded it.
+func TestPEPreservesCapacityThroughExchange(t *testing.T) {
+	sys := peSystem([]AperiodicJob{
+		{Name: "J1", Release: rtime.AtTU(1.5), Cost: rtime.TUs(1)},
+	})
+	r := mustRun(t, sys, fpDispatcher(sys), 10)
+	// tau1 runs [0,1) exchanging the top capacity down to level 5; J1
+	// arrives at 1.5 and consumes the preserved capacity at once.
+	checkSegments(t, r.Trace, "PE", []seg{{1.5, 2.5, "J1"}})
+	checkSegments(t, r.Trace, "tau1", []seg{{0, 1.5, ""}, {2.5, 3, ""}})
+	if got := r.Aperiodics()[0].ResponseTime(); got != rtime.TUs(1) {
+		t.Errorf("J1 response = %v, want 1tu", got)
+	}
+
+	// The same workload under a polling server: capacity was lost at the
+	// empty activation, J1 waits for the next period.
+	sysPS := peSystem(sys.Aperiodics)
+	sysPS.Server = &ServerSpec{Name: "PS", Policy: PollingServer,
+		Capacity: rtime.TUs(1), Period: rtime.TUs(5), Priority: 10}
+	rPS := mustRun(t, sysPS, fpDispatcher(sysPS), 10)
+	if got := rPS.Aperiodics()[0].ResponseTime(); got != rtime.TUs(4.5) {
+		t.Errorf("J1 under PS response = %v, want 4.5tu", got)
+	}
+}
+
+// Idle time drains preserved capacity: an arrival after an idle gap finds
+// nothing left and waits for the replenishment.
+func TestPEIdleDrainsCapacity(t *testing.T) {
+	sys := peSystem([]AperiodicJob{
+		{Name: "J1", Release: rtime.AtTU(4), Cost: rtime.TUs(1)},
+	})
+	r := mustRun(t, sys, fpDispatcher(sys), 10)
+	// [0,1): exchange to level 5; tau1 done at 2; idle [2,3) drains the
+	// preserved unit; J1 at 4 must wait for the replenishment at 5.
+	checkSegments(t, r.Trace, "PE", []seg{{5, 6, "J1"}})
+	if got := r.Aperiodics()[0].ResponseTime(); got != rtime.TUs(2) {
+		t.Errorf("J1 response = %v, want 2tu", got)
+	}
+}
+
+// An arrival while the top-level capacity is still whole is served at the
+// server's top priority, preempting the periodic task.
+func TestPETopLevelService(t *testing.T) {
+	sys := peSystem([]AperiodicJob{
+		{Name: "J1", Release: rtime.AtTU(0), Cost: rtime.TUs(1)},
+	})
+	r := mustRun(t, sys, fpDispatcher(sys), 10)
+	checkSegments(t, r.Trace, "PE", []seg{{0, 1, "J1"}})
+	checkSegments(t, r.Trace, "tau1", []seg{{1, 3, ""}})
+}
+
+// Exchanged capacity serves at the *exchanged* priority: it does not
+// preempt a periodic task of higher priority than the account level.
+func TestPEExchangedPriorityRespected(t *testing.T) {
+	sys := System{
+		Periodics: []PeriodicTask{
+			{Name: "hi", Period: rtime.TUs(10), Cost: rtime.TUs(2), Priority: 8, Offset: rtime.AtTU(1.5)},
+			{Name: "lo", Period: rtime.TUs(10), Cost: rtime.TUs(2), Priority: 2},
+		},
+		Aperiodics: []AperiodicJob{
+			{Name: "J1", Release: rtime.AtTU(2), Cost: rtime.TUs(1)},
+		},
+		Server: &ServerSpec{Name: "PE", Policy: PriorityExchange,
+			Capacity: rtime.TUs(1), Period: rtime.TUs(20), Priority: 10},
+	}
+	r := mustRun(t, sys, fpDispatcher(sys), 10)
+	// [0,1): lo runs, capacity exchanges to level 2. hi releases at 1.5.
+	// J1 arrives at 2 but its capacity now lives at level 2 < 8: hi runs
+	// first ([1.5,3.5)), then J1 consumes the level-2 capacity.
+	checkSegments(t, r.Trace, "PE", []seg{{3.5, 4.5, "J1"}})
+	checkSegments(t, r.Trace, "hi", []seg{{1.5, 3.5, ""}})
+}
+
+// PE average response times sit between the DS (immediate service) and the
+// PS (discarding) on random workloads, and the schedule stays valid.
+func TestPEBetweenPSAndDS(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var sumPS, sumPE, sumDS float64
+	for trial := 0; trial < 30; trial++ {
+		var jobs []AperiodicJob
+		for i := 0; i < 5; i++ {
+			jobs = append(jobs, AperiodicJob{
+				Name:    "J" + string(rune('1'+i)),
+				Release: rtime.AtTU(rng.Float64() * 50),
+				Cost:    rtime.TUs(0.2 + rng.Float64()*0.8),
+			})
+		}
+		avg := func(policy ServerPolicy) float64 {
+			sys := System{
+				Periodics: []PeriodicTask{
+					{Name: "tau1", Period: rtime.TUs(7), Cost: rtime.TUs(3), Priority: 5},
+				},
+				Aperiodics: jobs,
+				Server: &ServerSpec{Policy: policy,
+					Capacity: rtime.TUs(1), Period: rtime.TUs(7), Priority: 10},
+			}
+			tr := trace.New()
+			r, err := Run(sys, NewFP(sys, tr), rtime.AtTU(70), tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.CheckSingleCPU(); err != nil {
+				t.Fatal(err)
+			}
+			var sum float64
+			n := 0
+			for _, j := range r.Aperiodics() {
+				if j.Finished {
+					sum += j.ResponseTime().TUs()
+					n++
+				}
+			}
+			if n == 0 {
+				return 0
+			}
+			return sum / float64(n)
+		}
+		sumPS += avg(PollingServer)
+		sumPE += avg(PriorityExchange)
+		sumDS += avg(DeferrableServer)
+	}
+	if !(sumDS <= sumPE+1e-9 && sumPE <= sumPS+1e-9) {
+		t.Errorf("expected DS <= PE <= PS on average: DS=%.2f PE=%.2f PS=%.2f",
+			sumDS/30, sumPE/30, sumPS/30)
+	}
+}
+
+func TestPEPolicyString(t *testing.T) {
+	if PriorityExchange.String() != "PE" {
+		t.Error("PE string")
+	}
+}

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"testing"
+
+	"rtsj/internal/rtime"
+	"rtsj/internal/trace"
+)
+
+// table1System builds the task set of Table 1 in the paper: a server at the
+// highest priority (C=3, T=6), tau1 (C=2, T=6), tau2 (C=1, T=6), and two
+// handlers h1, h2 of cost 2.
+func table1System(policy ServerPolicy, h2Declared float64, fire1, fire2 float64) System {
+	return System{
+		Periodics: []PeriodicTask{
+			{Name: "tau1", Period: rtime.TUs(6), Cost: rtime.TUs(2), Priority: 2},
+			{Name: "tau2", Period: rtime.TUs(6), Cost: rtime.TUs(1), Priority: 1},
+		},
+		Aperiodics: []AperiodicJob{
+			{Name: "h1", Release: rtime.AtTU(fire1), Cost: rtime.TUs(2)},
+			{Name: "h2", Release: rtime.AtTU(fire2), Cost: rtime.TUs(2), Declared: rtime.TUs(h2Declared)},
+		},
+		Server: &ServerSpec{Name: "PS", Policy: policy, Capacity: rtime.TUs(3), Period: rtime.TUs(6), Priority: 10},
+	}
+}
+
+type seg struct {
+	start, end float64
+	label      string
+}
+
+func checkSegments(t *testing.T, tr *trace.Trace, entity string, want []seg) {
+	t.Helper()
+	got := tr.SegmentsOf(entity)
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d segments %v, want %d\n%s", entity, len(got), got, len(want),
+			tr.Gantt(trace.GanttOptions{}))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Start != rtime.AtTU(w.start) || g.End != rtime.AtTU(w.end) || g.Label != w.label {
+			t.Errorf("%s segment %d: got [%v,%v)%q, want [%v,%v)%q", entity, i,
+				g.Start.TUs(), g.End.TUs(), g.Label, w.start, w.end, w.label)
+		}
+	}
+}
+
+func mustRun(t *testing.T, sys System, mk func(*trace.Trace) Dispatcher, horizonTU float64) *Result {
+	t.Helper()
+	tr := trace.New()
+	r, err := Run(sys, mk(tr), rtime.AtTU(horizonTU), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckSingleCPU(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func fpDispatcher(sys System) func(*trace.Trace) Dispatcher {
+	return func(tr *trace.Trace) Dispatcher { return NewFP(sys, tr) }
+}
+
+// Scenario 1 (Figure 2): e1 fired at 0, e2 at 6; the server has full
+// capacity at both instants, so h1 and h2 are served immediately.
+func TestScenario1IdealPS(t *testing.T) {
+	sys := table1System(PollingServer, 0, 0, 6)
+	r := mustRun(t, sys, fpDispatcher(sys), 12)
+
+	checkSegments(t, r.Trace, "PS", []seg{{0, 2, "h1"}, {6, 8, "h2"}})
+	checkSegments(t, r.Trace, "tau1", []seg{{2, 4, ""}, {8, 10, ""}})
+	checkSegments(t, r.Trace, "tau2", []seg{{4, 5, ""}, {10, 11, ""}})
+
+	for _, j := range r.Aperiodics() {
+		if !j.Finished {
+			t.Errorf("%s unserved", j.Name)
+		}
+		if got := j.ResponseTime(); got != rtime.TUs(2) {
+			t.Errorf("%s response = %v, want 2tu", j.Name, got)
+		}
+	}
+	if r.PeriodicMisses != 0 {
+		t.Errorf("periodic misses = %d", r.PeriodicMisses)
+	}
+}
+
+// Scenario 1 behaves identically under the limited (implementation) PS
+// since every handler fits the capacity.
+func TestScenario1LimitedPS(t *testing.T) {
+	sys := table1System(LimitedPollingServer, 0, 0, 6)
+	r := mustRun(t, sys, fpDispatcher(sys), 12)
+	checkSegments(t, r.Trace, "PS", []seg{{0, 2, "h1"}, {6, 8, "h2"}})
+}
+
+// Scenario 2 with the *real* (literature) PS policy: the paper notes that
+// "with the real PS policy, h2 should begin its execution at time 8,
+// suspend it at time 9 and resume it at time 12".
+func TestScenario2IdealPS(t *testing.T) {
+	sys := table1System(PollingServer, 0, 2, 4)
+	r := mustRun(t, sys, fpDispatcher(sys), 18)
+
+	checkSegments(t, r.Trace, "PS", []seg{{6, 8, "h1"}, {8, 9, "h2"}, {12, 13, "h2"}})
+	checkSegments(t, r.Trace, "tau1", []seg{{0, 2, ""}, {9, 11, ""}, {13, 15, ""}})
+	checkSegments(t, r.Trace, "tau2", []seg{{2, 3, ""}, {11, 12, ""}, {15, 16, ""}})
+
+	jobs := r.Aperiodics()
+	if got := jobs[0].ResponseTime(); got != rtime.TUs(6) {
+		t.Errorf("h1 response = %v, want 6tu", got)
+	}
+	if got := jobs[1].ResponseTime(); got != rtime.TUs(9) {
+		t.Errorf("h2 response = %v, want 9tu", got)
+	}
+}
+
+// Scenario 2 (Figure 3) with the implementation PS: h2 does not begin at
+// time 8 because the remaining capacity (1) is below its cost (2); it is
+// served in full at the next activation.
+func TestScenario2LimitedPS(t *testing.T) {
+	sys := table1System(LimitedPollingServer, 0, 2, 4)
+	r := mustRun(t, sys, fpDispatcher(sys), 18)
+
+	checkSegments(t, r.Trace, "PS", []seg{{6, 8, "h1"}, {12, 14, "h2"}})
+	checkSegments(t, r.Trace, "tau1", []seg{{0, 2, ""}, {8, 10, ""}, {14, 16, ""}})
+	checkSegments(t, r.Trace, "tau2", []seg{{2, 3, ""}, {10, 11, ""}, {16, 17, ""}})
+
+	jobs := r.Aperiodics()
+	if got := jobs[1].ResponseTime(); got != rtime.TUs(10) {
+		t.Errorf("h2 response = %v, want 10tu", got)
+	}
+	if jobs[0].Aborted || jobs[1].Aborted {
+		t.Error("no job should be interrupted in scenario 2")
+	}
+}
+
+// Scenario 3 (Figure 4): h2 is declared with cost 1 (below its actual
+// demand of 2). It begins at time 8 — the remaining capacity is 1 — and is
+// interrupted at time 9 when the server has consumed all its capacity.
+func TestScenario3LimitedPS(t *testing.T) {
+	sys := table1System(LimitedPollingServer, 1, 2, 4)
+	r := mustRun(t, sys, fpDispatcher(sys), 18)
+
+	checkSegments(t, r.Trace, "PS", []seg{{6, 8, "h1"}, {8, 9, "h2"}})
+
+	jobs := r.Aperiodics()
+	h2 := jobs[1]
+	if !h2.Aborted {
+		t.Fatal("h2 should have been interrupted")
+	}
+	if h2.AbortAt != rtime.AtTU(9) {
+		t.Errorf("h2 interrupted at %v, want t=9tu", h2.AbortAt.TUs())
+	}
+	if h2.Finished {
+		t.Error("h2 should not be recorded as served")
+	}
+	// The real policy would resume h2 at 12; the implementation cannot, so
+	// the server must not serve h2 again.
+	for _, s := range r.Trace.SegmentsOf("PS") {
+		if s.Start >= rtime.AtTU(9) {
+			t.Errorf("unexpected PS segment after interruption: %+v", s)
+		}
+	}
+}
+
+// The same workload as scenario 2 under the ideal Deferrable Server: h1 is
+// served immediately upon release at time 2.
+func TestScenario2IdealDS(t *testing.T) {
+	sys := table1System(DeferrableServer, 0, 2, 4)
+	sys.Server.Name = "DS"
+	r := mustRun(t, sys, fpDispatcher(sys), 12)
+
+	checkSegments(t, r.Trace, "DS", []seg{{2, 4, "h1"}, {4, 5, "h2"}, {6, 7, "h2"}})
+	checkSegments(t, r.Trace, "tau1", []seg{{0, 2, ""}, {7, 9, ""}})
+
+	jobs := r.Aperiodics()
+	if got := jobs[0].ResponseTime(); got != rtime.TUs(2) {
+		t.Errorf("h1 response = %v, want 2tu", got)
+	}
+	if got := jobs[1].ResponseTime(); got != rtime.TUs(3) {
+		t.Errorf("h2 response = %v, want 3tu", got)
+	}
+}
+
+// The limited DS budget-extension rule (Section 4.2): with remaining
+// capacity 1 and a replenishment closer than the event cost, the event is
+// admitted with budget remaining+capacity and served across the boundary.
+func TestLimitedDSBudgetExtension(t *testing.T) {
+	sys := System{
+		Aperiodics: []AperiodicJob{
+			{Name: "a1", Release: rtime.AtTU(0), Cost: rtime.TUs(3)},
+			{Name: "a2", Release: rtime.AtTU(5), Cost: rtime.TUs(2)},
+		},
+		Server: &ServerSpec{Name: "DS", Policy: LimitedDeferrableServer,
+			Capacity: rtime.TUs(4), Period: rtime.TUs(6), Priority: 10},
+	}
+	r := mustRun(t, sys, fpDispatcher(sys), 12)
+	// a1 served [0,3), remaining 1. a2 arrives at 5 with cost 2:
+	// 5+2 > 6, so budget = 1 + 4 and a2 is served [5,7) across the boundary.
+	checkSegments(t, r.Trace, "DS", []seg{{0, 3, "a1"}, {5, 7, "a2"}})
+	for _, j := range r.Aperiodics() {
+		if !j.Finished {
+			t.Errorf("%s unserved", j.Name)
+		}
+	}
+}
+
+// Without the extension (event fits the current period), the limited DS
+// must not admit an event larger than the remaining capacity.
+func TestLimitedDSNoOverAdmission(t *testing.T) {
+	sys := System{
+		Aperiodics: []AperiodicJob{
+			{Name: "a1", Release: rtime.AtTU(0), Cost: rtime.TUs(3)},
+			{Name: "a2", Release: rtime.AtTU(3), Cost: rtime.TUs(2)},
+		},
+		Server: &ServerSpec{Name: "DS", Policy: LimitedDeferrableServer,
+			Capacity: rtime.TUs(4), Period: rtime.TUs(10), Priority: 10},
+	}
+	r := mustRun(t, sys, fpDispatcher(sys), 20)
+	// a1 [0,3), remaining 1. a2 at 3: 3+2 = 5 <= 10, budget = 1 < 2: not
+	// admitted until the replenishment at 10.
+	checkSegments(t, r.Trace, "DS", []seg{{0, 3, "a1"}, {10, 12, "a2"}})
+}

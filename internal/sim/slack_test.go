@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtsj/internal/rtime"
+	"rtsj/internal/trace"
+)
+
+// Plenty of slack: the aperiodic is served immediately at top priority,
+// ahead of a ready periodic task.
+func TestSlackImmediateService(t *testing.T) {
+	sys := System{
+		Periodics: []PeriodicTask{
+			{Name: "tau1", Period: rtime.TUs(10), Cost: rtime.TUs(2), Priority: 5},
+		},
+		Aperiodics: []AperiodicJob{
+			{Name: "J1", Release: 0, Cost: rtime.TUs(3)},
+		},
+		Server: &ServerSpec{Name: "SLACK", Policy: SlackStealer},
+	}
+	r := mustRun(t, sys, fpDispatcher(sys), 20)
+	checkSegments(t, r.Trace, "SLACK", []seg{{0, 3, "J1"}})
+	checkSegments(t, r.Trace, "tau1", []seg{{3, 5, ""}, {10, 12, ""}})
+	if r.PeriodicMisses != 0 {
+		t.Fatalf("misses = %d", r.PeriodicMisses)
+	}
+}
+
+// Tight periodic load (laxity 1 per period): the stealer throttles to one
+// stolen unit per period and never causes a miss.
+func TestSlackThrottlesNearDeadlines(t *testing.T) {
+	sys := System{
+		Periodics: []PeriodicTask{
+			{Name: "tau1", Period: rtime.TUs(10), Cost: rtime.TUs(9), Priority: 5},
+		},
+		Aperiodics: []AperiodicJob{
+			{Name: "J1", Release: 0, Cost: rtime.TUs(3)},
+		},
+		Server: &ServerSpec{Name: "SLACK", Policy: SlackStealer},
+	}
+	r := mustRun(t, sys, fpDispatcher(sys), 40)
+	if r.PeriodicMisses != 0 {
+		t.Fatalf("misses = %d\n%s", r.PeriodicMisses, r.Trace.Gantt(trace.GanttOptions{}))
+	}
+	j := r.Aperiodics()[0]
+	if !j.Finished {
+		t.Fatal("J1 unserved")
+	}
+	// One unit of slack per 10tu period: 3 units finish in the 3rd period.
+	if j.Finish != rtime.AtTU(21) {
+		t.Errorf("J1 finish = %v, want 21 (1tu stolen per period)", j.Finish.TUs())
+	}
+	// tau1's first job is delayed exactly to its deadline.
+	segs := r.Trace.SegmentsOf("tau1")
+	if segs[len(segs)-1].End.TUs() > 40 {
+		t.Error("tau1 ran past the horizon")
+	}
+}
+
+// With no periodic tasks at all, the stealer degenerates to immediate
+// FIFO service.
+func TestSlackNoPeriodics(t *testing.T) {
+	sys := System{
+		Aperiodics: []AperiodicJob{
+			{Name: "J1", Release: 0, Cost: rtime.TUs(2)},
+			{Name: "J2", Release: rtime.AtTU(1), Cost: rtime.TUs(2)},
+		},
+		Server: &ServerSpec{Name: "SLACK", Policy: SlackStealer},
+	}
+	r := mustRun(t, sys, fpDispatcher(sys), 10)
+	checkSegments(t, r.Trace, "SLACK", []seg{{0, 2, "J1"}, {2, 4, "J2"}})
+}
+
+// Property: on random feasible periodic sets with random aperiodic load,
+// the slack stealer never causes a periodic deadline miss, and its
+// response times are no worse than background servicing.
+func TestSlackNeverCausesMissesAndBeatsBackground(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		var periodics []PeriodicTask
+		u := 0.0
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			period := 5 + rng.Intn(15)
+			c := 0.5 + rng.Float64()*float64(period)*(0.7-u)
+			if c < 0.5 {
+				break
+			}
+			u += c / float64(period)
+			periodics = append(periodics, PeriodicTask{
+				Name:   "p" + string(rune('1'+i)),
+				Period: rtime.TUs(float64(period)),
+				Cost:   rtime.TUs(c),
+			})
+		}
+		// Rate-monotonic priorities, and skip trials whose periodic-only
+		// baseline is itself infeasible (the stealer cannot be blamed for
+		// pre-existing misses).
+		for i := range periodics {
+			prio := 0
+			for _, o := range periodics {
+				if o.Period > periodics[i].Period {
+					prio++
+				}
+			}
+			periodics[i].Priority = prio
+		}
+		baseline := System{Periodics: periodics}
+		rb, err := Run(baseline, NewFP(baseline, nil), rtime.AtTU(60), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rb.PeriodicMisses > 0 {
+			continue
+		}
+		var jobs []AperiodicJob
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			jobs = append(jobs, AperiodicJob{
+				Name:    "J" + string(rune('1'+i)),
+				Release: rtime.AtTU(rng.Float64() * 40),
+				Cost:    rtime.TUs(0.2 + rng.Float64()*2),
+			})
+		}
+		mk := func(policy ServerPolicy) *Result {
+			sys := System{Periodics: periodics, Aperiodics: jobs,
+				Server: &ServerSpec{Policy: policy, Capacity: rtime.TUs(1), Period: rtime.TUs(10), Priority: 1000}}
+			if policy == SlackStealer {
+				sys.Server = &ServerSpec{Policy: SlackStealer}
+			}
+			tr := trace.New()
+			r, err := Run(sys, NewFP(sys, tr), rtime.AtTU(60), tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.CheckSingleCPU(); err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+		rSlack := mk(SlackStealer)
+		if rSlack.PeriodicMisses != 0 {
+			t.Fatalf("trial %d: slack stealer caused %d misses\n%s",
+				trial, rSlack.PeriodicMisses, rSlack.Trace.Gantt(trace.GanttOptions{}))
+		}
+		rBG := mk(NoServer)
+		slackJobs, bgJobs := rSlack.Aperiodics(), rBG.Aperiodics()
+		for i := range slackJobs {
+			if bgJobs[i].Finished && !slackJobs[i].Finished {
+				t.Errorf("trial %d: %s served by BG but not by slack stealing",
+					trial, slackJobs[i].Name)
+			}
+			if bgJobs[i].Finished && slackJobs[i].Finished &&
+				slackJobs[i].Finish > bgJobs[i].Finish {
+				t.Errorf("trial %d: %s slower under slack stealing (%v vs %v)",
+					trial, slackJobs[i].Name, slackJobs[i].Finish.TUs(), bgJobs[i].Finish.TUs())
+			}
+		}
+	}
+}
+
+func TestSlackPolicyString(t *testing.T) {
+	if SlackStealer.String() != "SLACK" {
+		t.Error("string")
+	}
+}

@@ -1,0 +1,100 @@
+package spec
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rtsj/internal/rtime"
+	"rtsj/internal/sim"
+)
+
+// Property: Format followed by Parse reproduces any valid system exactly
+// (field by field), for random systems across every policy.
+func TestFormatParseRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	policies := []sim.ServerPolicy{
+		sim.NoServer, sim.PollingServer, sim.DeferrableServer,
+		sim.LimitedPollingServer, sim.LimitedDeferrableServer,
+		sim.SporadicServer, sim.PriorityExchange, sim.SlackStealer,
+	}
+	for trial := 0; trial < 200; trial++ {
+		var sys sim.System
+		for i := 0; i < rng.Intn(4); i++ {
+			period := 2 + rng.Intn(20)
+			sys.Periodics = append(sys.Periodics, sim.PeriodicTask{
+				Name:     "p" + string(rune('1'+i)),
+				Period:   rtime.TUs(float64(period)),
+				Cost:     rtime.TUs(0.1 + rng.Float64()*float64(period-1)),
+				Offset:   rtime.AtTU(float64(rng.Intn(5))),
+				Deadline: rtime.TUs(float64(period)),
+				Priority: rng.Intn(10),
+			})
+		}
+		for i := 0; i < rng.Intn(5); i++ {
+			j := sim.AperiodicJob{
+				Name:    "J" + string(rune('1'+i)),
+				Release: rtime.AtTU(rng.Float64() * 50),
+				Cost:    rtime.TUs(0.1 + rng.Float64()*5),
+			}
+			if rng.Intn(2) == 1 {
+				j.Declared = rtime.TUs(0.1 + rng.Float64()*5)
+			}
+			if rng.Intn(2) == 1 {
+				j.Deadline = rtime.TUs(1 + rng.Float64()*20)
+			}
+			if rng.Intn(2) == 1 {
+				j.Value = float64(1 + rng.Intn(100))
+			}
+			sys.Aperiodics = append(sys.Aperiodics, j)
+		}
+		pol := policies[rng.Intn(len(policies))]
+		if pol != sim.NoServer {
+			sys.Server = &sim.ServerSpec{
+				Policy:   pol,
+				Capacity: rtime.TUs(1 + rng.Float64()*3),
+				Period:   rtime.TUs(5 + rng.Float64()*5),
+				Priority: 100,
+			}
+		}
+		f := &File{System: sys, Horizon: rtime.AtTU(float64(10 + rng.Intn(100)))}
+
+		text := Format(f)
+		g, err := Parse(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("trial %d: re-parse failed: %v\n%s", trial, err, text)
+		}
+		if g.Horizon != f.Horizon {
+			t.Fatalf("trial %d: horizon %v != %v", trial, g.Horizon, f.Horizon)
+		}
+		if (g.System.Server == nil) != (f.System.Server == nil) {
+			t.Fatalf("trial %d: server presence mismatch", trial)
+		}
+		if f.System.Server != nil {
+			a, b := *f.System.Server, *g.System.Server
+			a.Name, b.Name = "", ""
+			if a != b {
+				t.Fatalf("trial %d: server %+v != %+v", trial, b, a)
+			}
+		}
+		if len(g.System.Periodics) != len(f.System.Periodics) {
+			t.Fatalf("trial %d: periodic count", trial)
+		}
+		for i := range f.System.Periodics {
+			if f.System.Periodics[i] != g.System.Periodics[i] {
+				t.Fatalf("trial %d: periodic %d: %+v != %+v",
+					trial, i, g.System.Periodics[i], f.System.Periodics[i])
+			}
+		}
+		for i := range f.System.Aperiodics {
+			a, b := f.System.Aperiodics[i], g.System.Aperiodics[i]
+			// Declared == Cost is normalized away by Format.
+			if a.Declared == a.Cost {
+				a.Declared = 0
+			}
+			if a != b {
+				t.Fatalf("trial %d: aperiodic %d: %+v != %+v", trial, i, b, a)
+			}
+		}
+	}
+}

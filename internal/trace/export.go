@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// WriteCSV exports the trace as CSV with one row per segment and per point
+// event, for plotting outside the toolchain:
+//
+//	kind,entity,start_tu,end_tu,label
+//	run,PS,0,2,h1
+//	event,PS,2,2,completion:h1
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kind", "entity", "start_tu", "end_tu", "label"}); err != nil {
+		return err
+	}
+	ftu := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, s := range tr.Segments {
+		if err := cw.Write([]string{"run", s.Entity, ftu(s.Start.TUs()), ftu(s.End.TUs()), s.Label}); err != nil {
+			return err
+		}
+	}
+	for _, e := range tr.Events {
+		label := e.Kind.String()
+		if e.Label != "" {
+			label += ":" + e.Label
+		}
+		if err := cw.Write([]string{"event", e.Entity, ftu(e.At.TUs()), ftu(e.At.TUs()), label}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonTrace is the stable JSON shape of a trace.
+type jsonTrace struct {
+	Entities []string      `json:"entities"`
+	Segments []jsonSegment `json:"segments"`
+	Events   []jsonEvent   `json:"events"`
+}
+
+type jsonSegment struct {
+	Entity string  `json:"entity"`
+	Start  float64 `json:"start_tu"`
+	End    float64 `json:"end_tu"`
+	Label  string  `json:"label,omitempty"`
+}
+
+type jsonEvent struct {
+	Entity string  `json:"entity"`
+	At     float64 `json:"at_tu"`
+	Kind   string  `json:"kind"`
+	Label  string  `json:"label,omitempty"`
+}
+
+// WriteJSON exports the trace as a single JSON document.
+func (tr *Trace) WriteJSON(w io.Writer) error {
+	out := jsonTrace{Entities: tr.Entities()}
+	for _, s := range tr.Segments {
+		out.Segments = append(out.Segments, jsonSegment{
+			Entity: s.Entity, Start: s.Start.TUs(), End: s.End.TUs(), Label: s.Label,
+		})
+	}
+	for _, e := range tr.Events {
+		out.Events = append(out.Events, jsonEvent{
+			Entity: e.Entity, At: e.At.TUs(), Kind: e.Kind.String(), Label: e.Label,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

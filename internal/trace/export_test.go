@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rtsj/internal/rtime"
+)
+
+func exportTrace() *Trace {
+	tr := New()
+	tr.Run("PS", rtime.AtTU(0), rtime.AtTU(2), "h1")
+	tr.Run("tau1", rtime.AtTU(2), rtime.AtTU(4), "")
+	tr.Mark("PS", rtime.AtTU(2), Completion, "h1")
+	return tr
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportTrace().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // header + 2 segments + 1 event
+		t.Fatalf("rows = %d: %v", len(rows), rows)
+	}
+	if rows[1][0] != "run" || rows[1][1] != "PS" || rows[1][2] != "0" || rows[1][3] != "2" || rows[1][4] != "h1" {
+		t.Errorf("segment row = %v", rows[1])
+	}
+	if rows[3][0] != "event" || !strings.Contains(rows[3][4], "completion:h1") {
+		t.Errorf("event row = %v", rows[3])
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportTrace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Entities []string `json:"entities"`
+		Segments []struct {
+			Entity string  `json:"entity"`
+			Start  float64 `json:"start_tu"`
+			End    float64 `json:"end_tu"`
+			Label  string  `json:"label"`
+		} `json:"segments"`
+		Events []struct {
+			Kind string `json:"kind"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Entities) != 2 || len(doc.Segments) != 2 || len(doc.Events) != 1 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if doc.Segments[0].Label != "h1" || doc.Segments[0].End != 2 {
+		t.Errorf("segment = %+v", doc.Segments[0])
+	}
+	if doc.Events[0].Kind != "completion" {
+		t.Errorf("event = %+v", doc.Events[0])
+	}
+}
+
+func TestExportEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := New().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

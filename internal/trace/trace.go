@@ -1,0 +1,348 @@
+// Package trace records what happened during a simulated or emulated
+// execution: which entity occupied the processor when, and point events such
+// as arrivals, completions, interruptions and capacity changes.
+//
+// Both engines (the discrete-event simulator in internal/sim and the
+// virtual-time executive in internal/exec) emit the same trace format, so
+// executions and simulations can be rendered and compared with the same
+// tooling — this mirrors the paper's side-by-side temporal diagrams
+// (Figures 2–4).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rtsj/internal/rtime"
+)
+
+// EventKind classifies a point event on a trace row.
+type EventKind int
+
+// Point event kinds.
+const (
+	Arrival     EventKind = iota // a job or asynchronous event was released
+	Completion                   // a job or handler finished normally
+	Interrupted                  // a handler was asynchronously interrupted
+	DeadlineMiss
+	Replenish    // a server recovered its capacity
+	CapacityLost // a polling server dropped its remaining capacity
+	Custom
+)
+
+// String returns a short name for the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case Arrival:
+		return "arrival"
+	case Completion:
+		return "completion"
+	case Interrupted:
+		return "interrupted"
+	case DeadlineMiss:
+		return "deadline-miss"
+	case Replenish:
+		return "replenish"
+	case CapacityLost:
+		return "capacity-lost"
+	default:
+		return "custom"
+	}
+}
+
+// marker is the Gantt glyph for each event kind.
+func (k EventKind) marker() byte {
+	switch k {
+	case Arrival:
+		return '^'
+	case Completion:
+		return 'v'
+	case Interrupted:
+		return 'x'
+	case DeadlineMiss:
+		return '!'
+	case Replenish:
+		return 'r'
+	case CapacityLost:
+		return 'l'
+	default:
+		return '*'
+	}
+}
+
+// Segment is a half-open interval [Start, End) during which Entity occupied
+// the processor. Label optionally names the work performed (for a server,
+// the handler being served).
+type Segment struct {
+	Entity     string
+	Start, End rtime.Time
+	Label      string
+}
+
+// Dur returns the segment length.
+func (s Segment) Dur() rtime.Duration { return s.End.Sub(s.Start) }
+
+// Event is a point event attached to an entity's row.
+type Event struct {
+	Entity string
+	At     rtime.Time
+	Kind   EventKind
+	Label  string
+}
+
+// Trace accumulates segments and events for one run. The zero value is
+// ready to use. Trace is not safe for concurrent use; both engines are
+// single-threaded at the points where they record.
+type Trace struct {
+	Segments []Segment
+	Events   []Event
+
+	order map[string]int
+	names []string
+}
+
+// New returns an empty trace.
+func New() *Trace { return &Trace{} }
+
+func (tr *Trace) noteEntity(name string) {
+	if tr.order == nil {
+		tr.order = make(map[string]int)
+	}
+	if _, ok := tr.order[name]; !ok {
+		tr.order[name] = len(tr.names)
+		tr.names = append(tr.names, name)
+	}
+}
+
+// DeclareEntity registers a row (and its display position) before any
+// segment is recorded, so idle entities still appear in the Gantt chart.
+func (tr *Trace) DeclareEntity(name string) { tr.noteEntity(name) }
+
+// Run records that entity executed over [start, end). Zero-length segments
+// are dropped. Adjacent segments with equal label are merged.
+func (tr *Trace) Run(entity string, start, end rtime.Time, label string) {
+	if end <= start {
+		return
+	}
+	tr.noteEntity(entity)
+	if n := len(tr.Segments); n > 0 {
+		last := &tr.Segments[n-1]
+		if last.Entity == entity && last.End == start && last.Label == label {
+			last.End = end
+			return
+		}
+	}
+	tr.Segments = append(tr.Segments, Segment{Entity: entity, Start: start, End: end, Label: label})
+}
+
+// Mark records a point event.
+func (tr *Trace) Mark(entity string, at rtime.Time, kind EventKind, label string) {
+	tr.noteEntity(entity)
+	tr.Events = append(tr.Events, Event{Entity: entity, At: at, Kind: kind, Label: label})
+}
+
+// Entities returns row names in first-seen order.
+func (tr *Trace) Entities() []string {
+	out := make([]string, len(tr.names))
+	copy(out, tr.names)
+	return out
+}
+
+// BusyTime returns the total time entity occupied the processor.
+func (tr *Trace) BusyTime(entity string) rtime.Duration {
+	var total rtime.Duration
+	for _, s := range tr.Segments {
+		if s.Entity == entity {
+			total += s.Dur()
+		}
+	}
+	return total
+}
+
+// TotalBusy returns the processor busy time across all entities.
+func (tr *Trace) TotalBusy() rtime.Duration {
+	var total rtime.Duration
+	for _, s := range tr.Segments {
+		total += s.Dur()
+	}
+	return total
+}
+
+// End returns the latest instant covered by any segment or event.
+func (tr *Trace) End() rtime.Time {
+	var end rtime.Time
+	for _, s := range tr.Segments {
+		end = rtime.Max(end, s.End)
+	}
+	for _, e := range tr.Events {
+		end = rtime.Max(end, e.At)
+	}
+	return end
+}
+
+// CheckSingleCPU verifies that no two segments overlap in time — the
+// fundamental invariant of a uniprocessor schedule. Segments must have been
+// recorded in chronological order (both engines do).
+func (tr *Trace) CheckSingleCPU() error {
+	segs := make([]Segment, len(tr.Segments))
+	copy(segs, tr.Segments)
+	sort.SliceStable(segs, func(i, j int) bool { return segs[i].Start < segs[j].Start })
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Start < segs[i-1].End {
+			return fmt.Errorf("trace: segments overlap: %s[%v,%v) and %s[%v,%v)",
+				segs[i-1].Entity, segs[i-1].Start, segs[i-1].End,
+				segs[i].Entity, segs[i].Start, segs[i].End)
+		}
+	}
+	return nil
+}
+
+// SegmentsOf returns the segments for one entity, in recorded order.
+func (tr *Trace) SegmentsOf(entity string) []Segment {
+	var out []Segment
+	for _, s := range tr.Segments {
+		if s.Entity == entity {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// EventsOf returns the point events for one entity, in recorded order.
+func (tr *Trace) EventsOf(entity string) []Event {
+	var out []Event
+	for _, e := range tr.Events {
+		if e.Entity == entity {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// GanttOptions controls rendering.
+type GanttOptions struct {
+	// Scale is the duration represented by one column. Defaults to 1 tu.
+	Scale rtime.Duration
+	// Until clips the chart; defaults to the trace end rounded up to Scale.
+	Until rtime.Time
+	// AxisEvery labels the axis every N columns. Defaults to 6.
+	AxisEvery int
+}
+
+// Gantt renders the trace as an ASCII temporal diagram in the style of the
+// paper's Figures 2–4. Each entity has a row of '#' (running) and '.'
+// (not running); '+' marks a column only partially occupied. A marker row
+// below shows point events (^ arrival, v completion, x interruption,
+// r replenishment, l capacity lost, ! deadline miss).
+func (tr *Trace) Gantt(opts GanttOptions) string {
+	scale := opts.Scale
+	if scale <= 0 {
+		scale = rtime.TU
+	}
+	until := opts.Until
+	if until == 0 {
+		until = tr.End()
+	}
+	cols := int(rtime.DivCeil(rtime.Duration(until), scale))
+	if cols <= 0 {
+		cols = 1
+	}
+	axisEvery := opts.AxisEvery
+	if axisEvery <= 0 {
+		axisEvery = 6
+	}
+
+	nameW := 0
+	for _, n := range tr.names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	if nameW < 4 {
+		nameW = 4
+	}
+
+	var b strings.Builder
+	// Axis.
+	fmt.Fprintf(&b, "%-*s ", nameW, "t(tu)")
+	axis := make([]byte, cols)
+	for i := range axis {
+		axis[i] = ' '
+	}
+	for c := 0; c < cols; c += axisEvery {
+		lbl := rtime.Duration(rtime.Time(c) * rtime.Time(scale)).String()
+		lbl = strings.TrimSuffix(lbl, "tu")
+		for i, ch := range []byte(lbl) {
+			if c+i < cols {
+				axis[c+i] = ch
+			}
+		}
+	}
+	b.Write(axis)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-*s ", nameW, "")
+	for c := 0; c < cols; c++ {
+		if c%axisEvery == 0 {
+			b.WriteByte('|')
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	b.WriteByte('\n')
+
+	for _, name := range tr.names {
+		row := make([]byte, cols)
+		fill := make([]rtime.Duration, cols)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range tr.Segments {
+			if s.Entity != name {
+				continue
+			}
+			for c := 0; c < cols; c++ {
+				cs := rtime.Time(c) * rtime.Time(scale)
+				ce := cs.Add(scale)
+				lo := rtime.Max(cs, s.Start)
+				hi := rtime.Min(ce, s.End)
+				if hi > lo {
+					fill[c] += hi.Sub(lo)
+				}
+			}
+		}
+		for c := 0; c < cols; c++ {
+			switch {
+			case fill[c] >= scale:
+				row[c] = '#'
+			case fill[c] > 0:
+				row[c] = '+'
+			}
+		}
+		fmt.Fprintf(&b, "%-*s %s\n", nameW, name, row)
+
+		marks := make([]byte, cols)
+		any := false
+		for i := range marks {
+			marks[i] = ' '
+		}
+		for _, e := range tr.Events {
+			if e.Entity != name {
+				continue
+			}
+			c := int(rtime.DivFloor(rtime.Duration(e.At), scale))
+			if c >= cols {
+				c = cols - 1
+			}
+			if c < 0 {
+				c = 0
+			}
+			marks[c] = e.Kind.marker()
+			any = true
+		}
+		if any {
+			fmt.Fprintf(&b, "%-*s %s\n", nameW, "", marks)
+		}
+	}
+	return b.String()
+}
