@@ -14,6 +14,7 @@ import (
 	"rtsj/internal/exec"
 	"rtsj/internal/experiments"
 	"rtsj/internal/gen"
+	"rtsj/internal/harness"
 	"rtsj/internal/metrics"
 	"rtsj/internal/rtime"
 	"rtsj/internal/rtsjvm"
@@ -74,14 +75,37 @@ func BenchmarkTable5DSExecution(b *testing.B) {
 }
 
 // BenchmarkTablesAllSets runs every cell of every table once per iteration
-// (the full evaluation of the paper).
+// (the full evaluation of the paper). Tables run back to back; each table
+// internally fans its cells across the harness worker pool.
 func BenchmarkTablesAllSets(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		for _, id := range []string{"2", "3", "4", "5"} {
+		for _, id := range experiments.TableIDs {
 			if _, err := experiments.RunTable(id); err != nil {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// BenchmarkHarnessParallelTables runs the full evaluation with all four
+// tables fanned across the harness worker pool too, at several pool sizes
+// (workers=0 is the GOMAXPROCS default). The sub-benchmark ratios show the
+// parallel scaling of the experiment harness.
+func BenchmarkHarnessParallelTables(b *testing.B) {
+	for _, workers := range []int{0, 1, 2, 4} {
+		name := fmt.Sprintf("workers%d", workers)
+		if workers == 0 {
+			name = "workersDefault"
+		}
+		b.Run(name, func(b *testing.B) {
+			harness.SetWorkers(workers)
+			defer harness.SetWorkers(0)
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunTables(experiments.TableIDs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -54,7 +54,13 @@ func main() {
 	}
 	opts := trace.GanttOptions{Scale: colw, Until: parsed.Horizon}
 
-	tr := trace.New()
+	// Metrics-only invocations skip trace recording entirely: the engine
+	// then also skips its per-job label formatting (the fast path the
+	// table experiments use).
+	var tr *trace.Trace
+	if !*quiet || *csvOut != "" || *jsonOut != "" {
+		tr = trace.New()
+	}
 	var d sim.Dispatcher
 	switch parsed.Policy {
 	case spec.EDF:

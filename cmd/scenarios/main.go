@@ -11,12 +11,15 @@ import (
 	"os"
 
 	"rtsj/internal/experiments"
+	"rtsj/internal/harness"
 )
 
 func main() {
 	n := flag.Int("scenario", 0, "scenario to run (1-3); 0 for all")
 	ideal := flag.Bool("ideal", true, "also show the ideal (literature) polling server schedule")
+	workers := flag.Int("workers", 0, "harness worker pool size (0: $RTSJ_WORKERS or GOMAXPROCS)")
 	flag.Parse()
+	harness.SetWorkers(*workers)
 
 	nums := []int{1, 2, 3}
 	if *n != 0 {
@@ -25,12 +28,13 @@ func main() {
 	fmt.Println("Task set (Table 1): PS(prio hi, C=3, T=6), tau1(med, C=2, T=6), tau2(lo, C=1, T=6)")
 	fmt.Println("Handlers: h1 cost 2, h2 cost 2 (scenario 3: declared 1, actual 2)")
 	fmt.Println()
-	for _, num := range nums {
-		fig, err := experiments.RunFigure(num)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "scenarios: %v\n", err)
-			os.Exit(1)
-		}
+	figs, err := experiments.RunFigures(nums...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenarios: %v\n", err)
+		os.Exit(1)
+	}
+	for i, num := range nums {
+		fig := figs[i]
 		fmt.Printf("=== Scenario %d (Figure %d) ===\n", num, num+1)
 		fmt.Printf("e1 fired at %v, e2 at %v — %s\n\n", fig.Scenario.Fire1, fig.Scenario.Fire2, fig.Scenario.Caption)
 		fmt.Println("Framework execution:")

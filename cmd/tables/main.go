@@ -14,23 +14,26 @@ import (
 	"os"
 
 	"rtsj/internal/experiments"
+	"rtsj/internal/harness"
 )
 
 func main() {
 	table := flag.String("table", "all", "table to regenerate: 2, 3, 4, 5 or all")
 	matrix := flag.Bool("matrix", false, "also run the extension experiment: every policy on every set")
+	workers := flag.Int("workers", 0, "harness worker pool size (0: $RTSJ_WORKERS or GOMAXPROCS)")
 	flag.Parse()
+	harness.SetWorkers(*workers)
 
-	ids := []string{"2", "3", "4", "5"}
+	ids := experiments.TableIDs
 	if *table != "all" {
 		ids = []string{*table}
 	}
-	for _, id := range ids {
-		t, err := experiments.RunTable(id)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tables: %v\n", err)
-			os.Exit(1)
-		}
+	tabs, err := experiments.RunTables(ids)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+		os.Exit(1)
+	}
+	for _, t := range tabs {
 		fmt.Println(t.Format())
 	}
 	if *matrix {

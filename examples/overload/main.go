@@ -49,7 +49,7 @@ func main() {
 			} else if j.Aborted {
 				status = "abandoned"
 			}
-			fmt.Printf("  %-7s value %2.0f: %s\n", j.Name, j.Value, status)
+			fmt.Printf("  %-7s value %2.0f: %s\n", j.Name(), j.Value, status)
 		}
 		fmt.Printf("  completed value: %.0f\n\n", value)
 	}

@@ -1,0 +1,3 @@
+module rtsj
+
+go 1.24

@@ -80,7 +80,7 @@ func TestRTABoundsSimulatedResponses(t *testing.T) {
 			}
 			if got := j.ResponseTime(); got > bounds[j.Entity] {
 				t.Fatalf("trial %d: %s measured response %v above RTA bound %v",
-					trial, j.Name, got, bounds[j.Entity])
+					trial, j.Name(), got, bounds[j.Entity])
 			}
 		}
 		// Tightness at the critical instant: the first job of the

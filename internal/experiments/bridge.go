@@ -64,10 +64,18 @@ type ExecOutcome struct {
 	Server  core.TaskServer
 }
 
-// RunSimulation simulates sys on RTSS under its configured server policy.
+// RunSimulation simulates sys on RTSS under its configured server policy,
+// recording a full trace (for the figures and Gantt comparisons).
 func RunSimulation(sys sim.System, horizon rtime.Time) (*sim.Result, error) {
 	tr := trace.New()
 	return sim.Run(sys, sim.NewFP(sys, tr), horizon, tr)
+}
+
+// RunSimulationMetrics simulates sys without recording a trace: the fast
+// path for table and matrix cells, which only consume job outcomes. The
+// engine skips all trace bookkeeping and label formatting.
+func RunSimulationMetrics(sys sim.System, horizon rtime.Time) (*sim.Result, error) {
+	return sim.Run(sys, sim.NewFP(sys, nil), horizon, nil)
 }
 
 // RunExecution realizes sys on the Task Server Framework and runs it on
@@ -119,7 +127,7 @@ func RunExecution(sys sim.System, m ExecModel, horizon rtime.Time) (*ExecOutcome
 		a := sys.Aperiodics[i]
 		jn := a.Name
 		if jn == "" {
-			jn = fmt.Sprintf("J%d", i+1)
+			jn = sim.AperiodicName(i) // must match the sim engine's naming
 		}
 		actual := a.Cost
 		if m.CostNoise > 0 {

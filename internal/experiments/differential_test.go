@@ -110,7 +110,7 @@ func compareOutcomes(t *testing.T, trial int, sys sim.System, simRes *sim.Result
 	}
 	byName := map[string]*sim.Job{}
 	for _, j := range simJobs {
-		byName[j.Name] = j
+		byName[j.Name()] = j
 	}
 	for _, rec := range execRes.Records {
 		j, ok := byName[rec.Handler]

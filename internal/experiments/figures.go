@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"rtsj/internal/harness"
 	"rtsj/internal/rtime"
 	"rtsj/internal/sim"
 	"rtsj/internal/trace"
@@ -56,7 +57,17 @@ type Figure struct {
 	Events     []string // per-event outcome lines
 }
 
-// RunFigure regenerates the figure for scenario n (1-3).
+// RunFigures regenerates several figures concurrently, in the given order
+// (RunFigures(1, 2, 3) is the paper's full set).
+func RunFigures(ns ...int) ([]*Figure, error) {
+	return harness.Map(0, ns, func(_ int, n int) (*Figure, error) {
+		return RunFigure(n)
+	})
+}
+
+// RunFigure regenerates the figure for scenario n (1-3). The framework
+// execution and the ideal-policy simulation it is contrasted with are
+// independent, so they run concurrently.
 func RunFigure(n int) (*Figure, error) {
 	if n < 1 || n > len(Scenarios) {
 		return nil, fmt.Errorf("experiments: no scenario %d", n)
@@ -65,12 +76,19 @@ func RunFigure(n int) (*Figure, error) {
 	horizon := rtime.AtTU(spec.HorizonTU)
 	opts := trace.GanttOptions{Until: horizon}
 
-	o, err := RunExecution(spec.System(sim.LimitedPollingServer), ZeroExecModel(), horizon)
-	if err != nil {
-		return nil, err
-	}
-	rIdeal, err := RunSimulation(spec.System(sim.PollingServer), horizon)
-	if err != nil {
+	var (
+		o      *ExecOutcome
+		rIdeal *sim.Result
+	)
+	if _, err := harness.MapN(0, 2, func(i int) (struct{}, error) {
+		var err error
+		if i == 0 {
+			o, err = RunExecution(spec.System(sim.LimitedPollingServer), ZeroExecModel(), horizon)
+		} else {
+			rIdeal, err = RunSimulation(spec.System(sim.PollingServer), horizon)
+		}
+		return struct{}{}, err
+	}); err != nil {
 		return nil, err
 	}
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"rtsj/internal/gen"
+	"rtsj/internal/harness"
 	"rtsj/internal/metrics"
 	"rtsj/internal/sim"
 )
@@ -29,27 +30,44 @@ var MatrixPolicies = []sim.ServerPolicy{
 // systems carry no periodic tasks (the paper's sets), so the slack stealer
 // sees unbounded slack and acts as an immediate-service upper baseline
 // while background acts as a FIFO baseline.
+//
+// The policy x set grid is flattened into independent cells and fanned
+// across the harness worker pool; each cell additionally parallelizes its
+// ten generated systems. Cell placement is by index, so the resulting
+// matrix is bit-identical for any worker count.
 func RunPolicyMatrix() (*PolicyMatrix, error) {
 	m := &PolicyMatrix{
 		Policies: MatrixPolicies,
 		Cells:    make(map[sim.ServerPolicy]map[string]metrics.SetSummary),
 	}
-	for _, pol := range m.Policies {
-		m.Cells[pol] = make(map[string]metrics.SetSummary)
-		for _, key := range SetKeys {
-			p := GenParams(key)
-			systems := gen.Generate(p)
-			summaries := make([]metrics.Summary, 0, len(systems))
-			for _, base := range systems {
-				sys := gen.WithServer(base, p, pol, 100)
-				r, err := RunSimulation(sys, p.Horizon())
-				if err != nil {
-					return nil, fmt.Errorf("matrix %v %s: %v", pol, key, err)
-				}
-				summaries = append(summaries, metrics.Summarize(SimEvents(r)))
+	nSets := len(SetKeys)
+	cells, err := harness.MapN(0, len(m.Policies)*nSets, func(i int) (metrics.SetSummary, error) {
+		pol, key := m.Policies[i/nSets], SetKeys[i%nSets]
+		p := GenParams(key)
+		systems := gen.Generate(p)
+		horizon := p.Horizon()
+		summaries, err := harness.Map(0, systems, func(_ int, base sim.System) (metrics.Summary, error) {
+			sys := gen.WithServer(base, p, pol, 100)
+			r, err := RunSimulationMetrics(sys, horizon)
+			if err != nil {
+				return metrics.Summary{}, fmt.Errorf("matrix %v %s: %v", pol, key, err)
 			}
-			m.Cells[pol][key] = metrics.Aggregate(summaries)
+			return metrics.Summarize(SimEvents(r)), nil
+		})
+		if err != nil {
+			return metrics.SetSummary{}, err
 		}
+		return metrics.Aggregate(summaries), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, cell := range cells {
+		pol, key := m.Policies[i/nSets], SetKeys[i%nSets]
+		if m.Cells[pol] == nil {
+			m.Cells[pol] = make(map[string]metrics.SetSummary)
+		}
+		m.Cells[pol][key] = cell
 	}
 	return m, nil
 }

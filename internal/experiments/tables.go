@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"rtsj/internal/gen"
+	"rtsj/internal/harness"
 	"rtsj/internal/metrics"
 	"rtsj/internal/sim"
 )
@@ -82,20 +83,22 @@ const (
 )
 
 // RunSet measures one generated set under a policy and mode, returning the
-// per-set averages.
+// per-set averages. The generated systems are independent work units: they
+// are fanned across the harness worker pool, and the order-preserving
+// aggregation keeps the result bit-identical to a serial run for any worker
+// count.
 func RunSet(key string, policy sim.ServerPolicy, mode Mode, model ExecModel) (metrics.SetSummary, error) {
 	p := GenParams(key)
 	systems := gen.Generate(p)
 	horizon := p.Horizon()
-	summaries := make([]metrics.Summary, 0, len(systems))
-	for i, base := range systems {
+	summaries, err := harness.Map(0, systems, func(i int, base sim.System) (metrics.Summary, error) {
 		sys := gen.WithServer(base, p, policy, 100)
 		var evs []metrics.Event
 		switch mode {
 		case Simulation:
-			r, err := RunSimulation(sys, horizon)
+			r, err := RunSimulationMetrics(sys, horizon)
 			if err != nil {
-				return metrics.SetSummary{}, err
+				return metrics.Summary{}, err
 			}
 			evs = SimEvents(r)
 		case Execution:
@@ -103,11 +106,14 @@ func RunSet(key string, policy sim.ServerPolicy, mode Mode, model ExecModel) (me
 			m.SysIndex = i
 			o, err := RunExecution(sys, m, horizon)
 			if err != nil {
-				return metrics.SetSummary{}, err
+				return metrics.Summary{}, err
 			}
 			evs = ExecEvents(o)
 		}
-		summaries = append(summaries, metrics.Summarize(evs))
+		return metrics.Summarize(evs), nil
+	})
+	if err != nil {
+		return metrics.SetSummary{}, err
 	}
 	return metrics.Aggregate(summaries), nil
 }
@@ -125,7 +131,8 @@ var tableSpecs = map[string]struct {
 	"5": {"Measures on Deferrable Server executions", sim.LimitedDeferrableServer, Execution, PaperTable5},
 }
 
-// RunTable regenerates one of the paper's Tables 2-5.
+// RunTable regenerates one of the paper's Tables 2-5, fanning the six set
+// cells across the harness worker pool.
 func RunTable(id string) (*Table, error) {
 	spec, ok := tableSpecs[id]
 	if !ok {
@@ -133,14 +140,31 @@ func RunTable(id string) (*Table, error) {
 	}
 	t := &Table{ID: id, Title: spec.title, Paper: spec.paper, Measured: make(map[string]Cell)}
 	model := DefaultExecModel()
-	for _, key := range SetKeys {
+	cells, err := harness.Map(0, SetKeys, func(_ int, key string) (Cell, error) {
 		s, err := RunSet(key, spec.policy, spec.mode, model)
 		if err != nil {
-			return nil, fmt.Errorf("table %s, set %s: %v", id, key, err)
+			return Cell{}, fmt.Errorf("table %s, set %s: %v", id, key, err)
 		}
-		t.Measured[key] = Cell{AART: s.AART, AIR: s.AIR, ASR: s.ASR}
+		return Cell{AART: s.AART, AIR: s.AIR, ASR: s.ASR}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, key := range SetKeys {
+		t.Measured[key] = cells[i]
 	}
 	return t, nil
+}
+
+// TableIDs lists the paper's measurement tables.
+var TableIDs = []string{"2", "3", "4", "5"}
+
+// RunTables regenerates several tables concurrently (the full evaluation
+// when ids is TableIDs), preserving the requested order.
+func RunTables(ids []string) ([]*Table, error) {
+	return harness.Map(0, ids, func(_ int, id string) (*Table, error) {
+		return RunTable(id)
+	})
 }
 
 // Format renders the table with measured-vs-paper rows.

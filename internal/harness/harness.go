@@ -1,0 +1,147 @@
+// Package harness runs independent experiment work units — per-system runs
+// inside a set, per-set cells inside a table, per-cell entries of the policy
+// matrix, per-config sweeps — across a bounded worker pool.
+//
+// The paper's evaluation is embarrassingly parallel (6 policies x 6 sets x
+// 10 generated systems, every unit seeded deterministically), so the only
+// requirement beyond a pool is that aggregation stays deterministic: Map
+// preserves item order in its result slice regardless of completion order,
+// which makes every downstream reduction (metrics.Aggregate, table cells)
+// bit-identical for any worker count.
+package harness
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvWorkers is the environment variable consulted for the default worker
+// count when no explicit override is set.
+const EnvWorkers = "RTSJ_WORKERS"
+
+var override atomic.Int64
+
+// SetWorkers overrides the default worker count process-wide (0 restores
+// the environment/GOMAXPROCS default). The cmd front-ends wire their
+// -workers flag here; tests use it to pin determinism runs.
+func SetWorkers(n int) { override.Store(int64(n)) }
+
+// Workers returns the worker count used when Map is called with workers<=0:
+// the SetWorkers override, else $RTSJ_WORKERS, else GOMAXPROCS.
+func Workers() int {
+	if n := int(override.Load()); n > 0 {
+		return n
+	}
+	if s := os.Getenv(EnvWorkers); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// extraWorkers counts the helper goroutines live across every Map in the
+// process. Map calls nest (tables -> sets -> systems); the process-wide
+// budget keeps total concurrency bounded by Workers() no matter how deep.
+var extraWorkers atomic.Int64
+
+func acquireWorker(limit int64) bool {
+	for {
+		n := extraWorkers.Load()
+		if n >= limit {
+			return false
+		}
+		if extraWorkers.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Map applies fn to every item concurrently and returns the results in
+// item order. fn receives the item index and the item; it must be safe to
+// call concurrently. If any call fails, Map waits for in-flight work and
+// returns the error of the lowest-indexed failure — deterministic no
+// matter which worker hit it first.
+//
+// The calling goroutine always processes items itself; up to workers-1
+// helper goroutines (workers<=0 selects Workers()) join it, gated by a
+// process-wide budget of Workers()-1 helpers. Nested Map calls therefore
+// share one bounded pool: when the budget is exhausted an inner Map simply
+// runs inline in its caller, which also makes nesting deadlock-free.
+func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	out := make([]R, len(items))
+	if len(items) == 0 {
+		return out, nil
+	}
+
+	var (
+		next   atomic.Int64
+		mu     sync.Mutex
+		errIdx = -1
+		first  error
+		wg     sync.WaitGroup
+	)
+	run := func() {
+		for {
+			// Check for failure before claiming, and always run a claimed
+			// index: indices are claimed in increasing order, so every item
+			// below a failing index has been claimed and will report its
+			// own error — which keeps the lowest-index guarantee exact.
+			mu.Lock()
+			abort := errIdx != -1
+			mu.Unlock()
+			if abort {
+				return
+			}
+			i := int(next.Add(1)) - 1
+			if i >= len(items) {
+				return
+			}
+			r, err := fn(i, items[i])
+			if err != nil {
+				mu.Lock()
+				if errIdx == -1 || i < errIdx {
+					errIdx, first = i, err
+				}
+				mu.Unlock()
+				return
+			}
+			out[i] = r
+		}
+	}
+	budget := int64(Workers() - 1)
+	for w := 1; w < workers && acquireWorker(budget); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer extraWorkers.Add(-1)
+			run()
+		}()
+	}
+	run()
+	wg.Wait()
+	if errIdx != -1 {
+		return nil, first
+	}
+	return out, nil
+}
+
+// MapN is Map over the index range [0, n): for work units that are cheaper
+// to describe by index (table cells, sweep points) than to materialize as a
+// slice.
+func MapN[R any](workers, n int, fn func(i int) (R, error)) ([]R, error) {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return Map(workers, idx, func(i, _ int) (R, error) { return fn(i) })
+}

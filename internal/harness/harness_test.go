@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 4, 16, 200} {
+		got, err := Map(workers, items, func(i, item int) (int, error) {
+			return item * item, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(4, nil, func(i, item int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	var cur, peak atomic.Int64
+	items := make([]int, 64)
+	_, err := Map(3, items, func(i, item int) (int, error) {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		runtime.Gosched()
+		cur.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("peak concurrency %d exceeds 3 workers", p)
+	}
+}
+
+func TestNestedMapBoundsConcurrency(t *testing.T) {
+	SetWorkers(3)
+	defer SetWorkers(0)
+	var cur, peak atomic.Int64
+	enter := func() {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+	}
+	outer := make([]int, 6)
+	_, err := Map(0, outer, func(int, int) (int, error) {
+		inner := make([]int, 6)
+		_, err := Map(0, inner, func(int, int) (int, error) {
+			enter()
+			runtime.Gosched()
+			cur.Add(-1)
+			return 0, nil
+		})
+		return 0, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leaf work across both nesting levels shares one process-wide pool:
+	// the caller chain plus at most Workers()-1 helpers.
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("nested peak concurrency %d exceeds Workers()=3", p)
+	}
+}
+
+func TestMapReturnsLowestIndexedError(t *testing.T) {
+	items := make([]int, 50)
+	for trial := 0; trial < 10; trial++ {
+		_, err := Map(8, items, func(i, item int) (int, error) {
+			if i == 7 || i == 31 {
+				return 0, fmt.Errorf("unit %d failed", i)
+			}
+			return 0, nil
+		})
+		if err == nil || err.Error() != "unit 7 failed" {
+			t.Fatalf("trial %d: err = %v, want unit 7 failed", trial, err)
+		}
+	}
+}
+
+func TestMapSingleError(t *testing.T) {
+	want := errors.New("boom")
+	_, err := Map(1, []int{0, 1, 2}, func(i, item int) (int, error) {
+		if i == 1 {
+			return 0, want
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMapN(t *testing.T) {
+	got, err := MapN(4, 10, func(i int) (string, error) {
+		return fmt.Sprintf("u%d", i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != fmt.Sprintf("u%d", i) {
+			t.Fatalf("got[%d] = %q", i, v)
+		}
+	}
+}
+
+func TestWorkersPrecedence(t *testing.T) {
+	SetWorkers(0)
+	t.Cleanup(func() { SetWorkers(0) })
+
+	if got := Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default Workers() = %d, want GOMAXPROCS=%d", got, runtime.GOMAXPROCS(0))
+	}
+	t.Setenv(EnvWorkers, "3")
+	if got := Workers(); got != 3 {
+		t.Fatalf("env Workers() = %d, want 3", got)
+	}
+	SetWorkers(5)
+	if got := Workers(); got != 5 {
+		t.Fatalf("override Workers() = %d, want 5", got)
+	}
+	t.Setenv(EnvWorkers, "junk")
+	SetWorkers(0)
+	if got := Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("junk env Workers() = %d, want GOMAXPROCS", got)
+	}
+}

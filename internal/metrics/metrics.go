@@ -37,7 +37,7 @@ func FromSimResult(r *sim.Result) []Event {
 	out := make([]Event, 0, len(jobs))
 	for _, j := range jobs {
 		out = append(out, Event{
-			Name:        j.Name,
+			Name:        j.Name(),
 			Released:    j.Release,
 			Finished:    j.Finish,
 			Served:      j.Finished,

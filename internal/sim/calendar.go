@@ -1,0 +1,140 @@
+package sim
+
+import "rtsj/internal/rtime"
+
+// release is one pending release in the calendar: either the next release
+// of periodic task idx, or (ap=true) the aperiodic cursor standing at
+// position idx of the release-sorted aperiodic order.
+type release struct {
+	at  rtime.Time
+	ap  bool
+	idx int
+}
+
+// before orders releases by (instant, periodic-before-aperiodic, index).
+// This is exactly the delivery order of the original linear-scan engine:
+// at any instant, periodic releases in task order first, then aperiodic
+// arrivals in release order.
+func (r release) before(o release) bool {
+	if r.at != o.at {
+		return r.at < o.at
+	}
+	if r.ap != o.ap {
+		return !r.ap
+	}
+	return r.idx < o.idx
+}
+
+// calendar tracks pending release instants. The engine pops due releases
+// one at a time and pushes each successor (the task's next period, or the
+// advanced aperiodic cursor) back.
+type calendar interface {
+	// next returns the earliest pending release instant (rtime.Never when
+	// the calendar is exhausted).
+	next() rtime.Time
+	// popDue removes and returns the earliest release at or before now.
+	popDue(now rtime.Time) (release, bool)
+	// push schedules a release.
+	push(r release)
+}
+
+// heapCalendar is a binary min-heap of releases: next() is O(1) and each
+// delivery is O(log n) instead of the linear scan over every periodic task
+// the seed engine performed at every decision instant.
+type heapCalendar struct{ a []release }
+
+func (h *heapCalendar) next() rtime.Time {
+	if len(h.a) == 0 {
+		return rtime.Never
+	}
+	return h.a[0].at
+}
+
+func (h *heapCalendar) popDue(now rtime.Time) (release, bool) {
+	if len(h.a) == 0 || h.a[0].at > now {
+		return release{}, false
+	}
+	top := h.a[0]
+	n := len(h.a) - 1
+	h.a[0] = h.a[n]
+	h.a = h.a[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.a[l].before(h.a[m]) {
+			m = l
+		}
+		if r < n && h.a[r].before(h.a[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.a[i], h.a[m] = h.a[m], h.a[i]
+		i = m
+	}
+	return top, true
+}
+
+func (h *heapCalendar) push(r release) {
+	h.a = append(h.a, r)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.a[i].before(h.a[p]) {
+			break
+		}
+		h.a[i], h.a[p] = h.a[p], h.a[i]
+		i = p
+	}
+}
+
+// linearCalendar reproduces the seed engine's linear scans verbatim: one
+// slot per periodic task plus the aperiodic cursor, scanned in task order
+// at every call. It is kept as the reference implementation for the
+// differential test against heapCalendar (and as a debugging fallback).
+type linearCalendar struct {
+	periodic []rtime.Time // next release per periodic task; Never when unset
+	apAt     rtime.Time   // aperiodic cursor instant; Never when exhausted
+	apPos    int          // aperiodic cursor position (sorted order)
+}
+
+func newLinearCalendar(nPeriodic int) *linearCalendar {
+	c := &linearCalendar{periodic: make([]rtime.Time, nPeriodic), apAt: rtime.Never}
+	for i := range c.periodic {
+		c.periodic[i] = rtime.Never
+	}
+	return c
+}
+
+func (c *linearCalendar) next() rtime.Time {
+	t := rtime.Never
+	for _, r := range c.periodic {
+		t = rtime.Min(t, r)
+	}
+	return rtime.Min(t, c.apAt)
+}
+
+func (c *linearCalendar) popDue(now rtime.Time) (release, bool) {
+	for i, r := range c.periodic {
+		if r <= now {
+			c.periodic[i] = rtime.Never
+			return release{at: r, idx: i}, true
+		}
+	}
+	if c.apAt <= now {
+		r := release{at: c.apAt, ap: true, idx: c.apPos}
+		c.apAt = rtime.Never
+		return r, true
+	}
+	return release{}, false
+}
+
+func (c *linearCalendar) push(r release) {
+	if r.ap {
+		c.apAt, c.apPos = r.at, r.idx
+		return
+	}
+	c.periodic[r.idx] = r.at
+}

@@ -102,7 +102,7 @@ func (d *DOver) abort(now rtime.Time, j *Job, why string) {
 		d.panicJob = nil
 	}
 	if d.tr != nil {
-		d.tr.Mark(j.Entity, now, trace.DeadlineMiss, j.Name+" ("+why+")")
+		d.tr.Mark(j.Entity, now, trace.DeadlineMiss, j.Name()+" ("+why+")")
 	}
 }
 
@@ -159,8 +159,12 @@ func (d *DOver) resolve(now rtime.Time, z *Job) {
 		}
 	}
 	if z.Value > (1+math.Sqrt(d.k))*sum {
+		why := ""
+		if d.tr != nil { // reason only feeds the trace mark
+			why = "displaced by " + z.Name()
+		}
 		for _, w := range victims {
-			d.abort(now, w, "displaced by "+z.Name)
+			d.abort(now, w, why)
 		}
 		d.panicJob = z
 		return

@@ -56,11 +56,11 @@ func TestDOverEqualsEDFUnderload(t *testing.T) {
 		ej, dj := re.Aperiodics(), rd.Aperiodics()
 		for i := range ej {
 			if ej[i].Finished != dj[i].Finished {
-				t.Fatalf("trial %d: job %s finished mismatch", trial, ej[i].Name)
+				t.Fatalf("trial %d: job %s finished mismatch", trial, ej[i].Name())
 			}
 			if ej[i].Finished && ej[i].Finish != dj[i].Finish {
 				t.Fatalf("trial %d: job %s finish %v (EDF) vs %v (D-OVER)",
-					trial, ej[i].Name, ej[i].Finish, dj[i].Finish)
+					trial, ej[i].Name(), ej[i].Finish, dj[i].Finish)
 			}
 		}
 	}

@@ -39,8 +39,11 @@ type IdleObserver interface {
 	Idle(now rtime.Time, delta rtime.Duration)
 }
 
-// Result collects everything measured during a run.
+// Result collects everything measured during a run. Like trace.Trace it is
+// not safe for concurrent use: Aperiodics/Periodics (and Job.Name) cache
+// lazily on first call.
 type Result struct {
+	// Trace is the recorded schedule, nil for metrics-only runs.
 	Trace *trace.Trace
 	// Jobs holds every job instance created during the run, in release
 	// order (ties: periodic before aperiodic, then creation order).
@@ -48,73 +51,117 @@ type Result struct {
 	// PeriodicMisses counts periodic job deadline misses.
 	PeriodicMisses int
 	Horizon        rtime.Time
+
+	// The periodic/aperiodic partition is computed once on first use and
+	// cached: metrics code calls Aperiodics repeatedly.
+	split      bool
+	aperiodics []*Job
+	periodics  []*Job
 }
 
-// Aperiodics returns the aperiodic job records.
-func (r *Result) Aperiodics() []*Job {
-	var out []*Job
+func (r *Result) partition() {
+	nAp := 0
 	for _, j := range r.Jobs {
 		if !j.Periodic {
-			out = append(out, j)
+			nAp++
 		}
 	}
-	return out
-}
-
-// Periodics returns the periodic job records.
-func (r *Result) Periodics() []*Job {
-	var out []*Job
+	r.aperiodics = make([]*Job, 0, nAp)
+	r.periodics = make([]*Job, 0, len(r.Jobs)-nAp)
 	for _, j := range r.Jobs {
 		if j.Periodic {
-			out = append(out, j)
+			r.periodics = append(r.periodics, j)
+		} else {
+			r.aperiodics = append(r.aperiodics, j)
 		}
 	}
-	return out
+	r.split = true
+}
+
+// Aperiodics returns the aperiodic job records, in release order.
+func (r *Result) Aperiodics() []*Job {
+	if !r.split {
+		r.partition()
+	}
+	return r.aperiodics
+}
+
+// Periodics returns the periodic job records, in release order.
+func (r *Result) Periodics() []*Job {
+	if !r.split {
+		r.partition()
+	}
+	return r.periodics
 }
 
 // Run simulates sys under the dispatcher until the horizon and returns the
-// result. The trace may be nil, in which case a fresh one is allocated.
+// result. With a nil trace the run records nothing (Result.Trace is nil):
+// the metrics-only fast path used by the table and matrix experiments.
 func Run(sys System, d Dispatcher, horizon rtime.Time, tr *trace.Trace) (*Result, error) {
+	return RunWithSink(sys, d, horizon, tr)
+}
+
+// RunWithSink simulates sys, streaming schedule recordings into sink. A nil
+// sink (or trace.Nop) disables recording entirely — the engine then also
+// skips job-name formatting for every trace label. When sink is a
+// *trace.Trace it is returned in Result.Trace.
+func RunWithSink(sys System, d Dispatcher, horizon rtime.Time, sink trace.Sink) (*Result, error) {
+	return runWithCalendar(sys, d, horizon, sink, &heapCalendar{})
+}
+
+func runWithCalendar(sys System, d Dispatcher, horizon rtime.Time, sink trace.Sink, cal calendar) (*Result, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
-	if tr == nil {
-		tr = trace.New()
+	if t, ok := sink.(*trace.Trace); ok && t == nil {
+		sink = nil // typed-nil *Trace means "no recording", like untyped nil
+	}
+	rec := true
+	if sink == nil {
+		sink, rec = trace.Nop{}, false
+	} else if _, nop := sink.(trace.Nop); nop {
+		rec = false
 	}
 	e := &engine{
 		sys:     sys,
 		d:       d,
 		horizon: horizon,
-		tr:      tr,
+		sink:    sink,
+		rec:     rec,
+		cal:     cal,
 	}
 	e.init()
 	if err := e.run(); err != nil {
 		return nil, err
 	}
-	return &Result{Trace: tr, Jobs: e.jobs, PeriodicMisses: e.misses, Horizon: horizon}, nil
+	res := &Result{Jobs: e.jobs, PeriodicMisses: e.misses, Horizon: horizon}
+	if tr, ok := sink.(*trace.Trace); ok {
+		res.Trace = tr
+	}
+	return res, nil
 }
 
 type engine struct {
 	sys     System
 	d       Dispatcher
 	horizon rtime.Time
-	tr      *trace.Trace
+	sink    trace.Sink
+	rec     bool // false: skip recording and trace-label formatting
 
-	now     rtime.Time
-	nextRel []rtime.Time // next release per periodic task
-	apSort  []int        // aperiodic indices sorted by release
-	apNext  int
-	jobs    []*Job
-	active  []*Job // periodic jobs released and unfinished (for miss check)
-	misses  int
-	seq     int64
+	now    rtime.Time
+	cal    calendar
+	apSort []int // aperiodic indices sorted by release
+	jobs   []*Job
+	misses int
+	seq    int64
 }
 
 func (e *engine) init() {
-	e.nextRel = make([]rtime.Time, len(e.sys.Periodics))
 	for i, t := range e.sys.Periodics {
-		e.nextRel[i] = t.Offset
-		e.tr.DeclareEntity(t.Name)
+		e.cal.push(release{at: t.Offset, idx: i})
+		if e.rec {
+			e.sink.DeclareEntity(t.Name)
+		}
 	}
 	e.apSort = make([]int, len(e.sys.Aperiodics))
 	for i := range e.apSort {
@@ -123,80 +170,90 @@ func (e *engine) init() {
 	sort.SliceStable(e.apSort, func(a, b int) bool {
 		return e.sys.Aperiodics[e.apSort[a]].Release < e.sys.Aperiodics[e.apSort[b]].Release
 	})
+	if len(e.apSort) > 0 {
+		e.cal.push(release{at: e.sys.Aperiodics[e.apSort[0]].Release, ap: true, idx: 0})
+	}
 }
 
-// nextReleaseTime returns the earliest future release instant.
-func (e *engine) nextReleaseTime() rtime.Time {
-	t := rtime.Never
-	for _, r := range e.nextRel {
-		t = rtime.Min(t, r)
-	}
-	if e.apNext < len(e.apSort) {
-		t = rtime.Min(t, e.sys.Aperiodics[e.apSort[e.apNext]].Release)
-	}
-	return t
-}
-
-// deliverReleases creates and delivers all jobs released at or before now.
+// deliverReleases creates and delivers all jobs released at or before now,
+// popping the calendar until the next release is in the future. Delivery
+// order matches the seed engine: at equal instants, periodic releases in
+// task order before aperiodic arrivals in release order.
 func (e *engine) deliverReleases() {
-	// Periodic releases first (deterministic: task order).
-	for i := range e.sys.Periodics {
-		for e.nextRel[i] <= e.now {
-			t := &e.sys.Periodics[i]
-			rel := e.nextRel[i]
-			j := &Job{
-				Name:      fmt.Sprintf("%s#%d", t.Name, int64(rel/rtime.Time(t.Period))+1),
-				Periodic:  true,
-				Release:   rel,
-				AbsDL:     rel.Add(t.RelDeadline()),
-				Cost:      t.Cost,
-				Remaining: t.Cost,
-				Priority:  t.Priority,
-				Entity:    t.Name,
-				seq:       e.seq,
-				taskIdx:   i,
-				apIdx:     -1,
-			}
-			e.seq++
-			e.nextRel[i] = rel.Add(t.Period)
-			e.jobs = append(e.jobs, j)
-			e.active = append(e.active, j)
-			e.tr.Mark(t.Name, rel, trace.Arrival, j.Name)
-			e.d.Release(rel, j)
+	for {
+		r, ok := e.cal.popDue(e.now)
+		if !ok {
+			return
+		}
+		if !r.ap {
+			e.releasePeriodic(r)
+		} else {
+			e.releaseAperiodic(r)
 		}
 	}
-	for e.apNext < len(e.apSort) {
-		idx := e.apSort[e.apNext]
-		a := &e.sys.Aperiodics[idx]
-		if a.Release > e.now {
-			break
-		}
-		name := a.Name
-		if name == "" {
-			name = fmt.Sprintf("J%d", idx+1)
-		}
-		dl := rtime.Forever
-		if a.Deadline > 0 {
-			dl = a.Release.Add(a.Deadline)
-		}
-		j := &Job{
-			Name:      name,
-			Release:   a.Release,
-			AbsDL:     dl,
-			Cost:      a.Cost,
-			Declared:  a.DeclaredCost(),
-			Value:     a.value(),
-			Remaining: a.Cost,
-			Entity:    name, // dispatcher may reattribute to the server row
-			seq:       e.seq,
-			taskIdx:   -1,
-			apIdx:     idx,
-		}
-		e.seq++
-		e.apNext++
-		e.jobs = append(e.jobs, j)
-		e.d.Release(a.Release, j)
-		e.tr.Mark(j.Entity, a.Release, trace.Arrival, name)
+}
+
+func (e *engine) releasePeriodic(r release) {
+	t := &e.sys.Periodics[r.idx]
+	rel := r.at
+	j := &Job{
+		Periodic:  true,
+		Release:   rel,
+		AbsDL:     rel.Add(t.RelDeadline()),
+		Cost:      t.Cost,
+		Remaining: t.Cost,
+		Priority:  t.Priority,
+		Entity:    t.Name,
+		instance:  int64(rel/rtime.Time(t.Period)) + 1,
+		seq:       e.seq,
+		taskIdx:   r.idx,
+		apIdx:     -1,
+	}
+	e.seq++
+	e.cal.push(release{at: rel.Add(t.Period), idx: r.idx})
+	e.jobs = append(e.jobs, j)
+	if e.rec {
+		e.sink.Mark(t.Name, rel, trace.Arrival, j.Name())
+	}
+	e.d.Release(rel, j)
+}
+
+func (e *engine) releaseAperiodic(r release) {
+	idx := e.apSort[r.idx]
+	a := &e.sys.Aperiodics[idx]
+	name := a.Name
+	if name == "" {
+		name = AperiodicName(idx)
+	}
+	dl := rtime.Forever
+	if a.Deadline > 0 {
+		dl = a.Release.Add(a.Deadline)
+	}
+	j := &Job{
+		name:      name,
+		Release:   a.Release,
+		AbsDL:     dl,
+		Cost:      a.Cost,
+		Declared:  a.DeclaredCost(),
+		Value:     a.value(),
+		Remaining: a.Cost,
+		Entity:    name, // dispatcher may reattribute to the server row
+		seq:       e.seq,
+		taskIdx:   -1,
+		apIdx:     idx,
+	}
+	e.seq++
+	if r.idx+1 < len(e.apSort) {
+		e.cal.push(release{
+			at:  e.sys.Aperiodics[e.apSort[r.idx+1]].Release,
+			ap:  true,
+			idx: r.idx + 1,
+		})
+	}
+	e.jobs = append(e.jobs, j)
+	e.d.Release(a.Release, j)
+	if e.rec {
+		e.sink.Mark(j.Entity, a.Release, trace.Arrival, name)
 	}
 }
 
@@ -208,7 +265,7 @@ func (e *engine) run() error {
 
 		j, maxSlice := e.d.Pick(e.now)
 
-		tNext := rtime.Min(e.horizon, e.nextReleaseTime())
+		tNext := rtime.Min(e.horizon, e.cal.next())
 		tNext = rtime.Min(tNext, e.d.NextEvent(e.now))
 
 		if j == nil {
@@ -231,14 +288,16 @@ func (e *engine) run() error {
 			guard++
 			if guard > 4 {
 				return fmt.Errorf("sim: no progress at %v running %s (dispatcher %s)",
-					e.now, j.Name, e.d.Name())
+					e.now, j.Name(), e.d.Name())
 			}
 			continue
 		}
 		guard = 0
 
-		entity, label := j.Entity, j.Label
-		e.tr.Run(entity, e.now, e.now.Add(slice), label)
+		entity := j.Entity
+		if e.rec {
+			e.sink.Run(entity, e.now, e.now.Add(slice), j.Label)
+		}
 		j.Started = true
 		j.Remaining -= slice
 		end := e.now.Add(slice)
@@ -248,14 +307,20 @@ func (e *engine) run() error {
 		if j.Remaining == 0 && !j.Aborted {
 			j.Finished = true
 			j.Finish = e.now
-			e.tr.Mark(entity, e.now, trace.Completion, j.Name)
+			if e.rec {
+				e.sink.Mark(entity, e.now, trace.Completion, j.Name())
+			}
 			if j.Periodic && j.AbsDL != rtime.Forever && e.now > j.AbsDL {
 				e.misses++
-				e.tr.Mark(entity, j.AbsDL, trace.DeadlineMiss, j.Name)
+				if e.rec {
+					e.sink.Mark(entity, j.AbsDL, trace.DeadlineMiss, j.Name())
+				}
 			}
 			e.d.Completed(e.now, j)
 		} else if j.Aborted {
-			e.tr.Mark(entity, e.now, trace.Interrupted, j.Name)
+			if e.rec {
+				e.sink.Mark(entity, e.now, trace.Interrupted, j.Name())
+			}
 		}
 	}
 	return nil

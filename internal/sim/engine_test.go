@@ -126,8 +126,8 @@ func TestDLHeapOrdering(t *testing.T) {
 
 func TestFIFOFirstFitting(t *testing.T) {
 	var q fifoQueue
-	a := &Job{Name: "a", Declared: rtime.TUs(3)}
-	b := &Job{Name: "b", Declared: rtime.TUs(1)}
+	a := &Job{name: "a", Declared: rtime.TUs(3)}
+	b := &Job{name: "b", Declared: rtime.TUs(1)}
 	q.push(a)
 	q.push(b)
 	// Budget 2: a (cost 3) does not fit, b (cost 1, released later) does —
@@ -291,20 +291,20 @@ func TestEnginePropertyConservation(t *testing.T) {
 			}
 			for _, j := range r.Jobs {
 				if j.Finished && j.Remaining != 0 {
-					t.Logf("finished job %s with remaining %v", j.Name, j.Remaining)
+					t.Logf("finished job %s with remaining %v", j.Name(), j.Remaining)
 					return false
 				}
 				if j.Finished && j.Aborted {
-					t.Logf("job %s both finished and aborted", j.Name)
+					t.Logf("job %s both finished and aborted", j.Name())
 					return false
 				}
 				got := servedTime(tr, j)
 				if j.Finished && got != j.Cost {
-					t.Logf("job %s traced %v, cost %v", j.Name, got, j.Cost)
+					t.Logf("job %s traced %v, cost %v", j.Name(), got, j.Cost)
 					return false
 				}
 				if !j.Finished && got > j.Cost {
-					t.Logf("unfinished job %s overserved: %v > %v", j.Name, got, j.Cost)
+					t.Logf("unfinished job %s overserved: %v > %v", j.Name(), got, j.Cost)
 					return false
 				}
 			}
@@ -326,7 +326,7 @@ func servedTime(tr *trace.Trace, j *Job) rtime.Duration {
 		if s.Entity == j.Entity && s.Label == j.Label && j.Label != "" {
 			total += s.Dur()
 		}
-		if s.Entity == j.Name && s.Label == "" && j.Label == "" {
+		if s.Entity == j.Name() && s.Label == "" && j.Label == "" {
 			total += s.Dur()
 		}
 	}

@@ -211,7 +211,7 @@ func (d *FP) Idle(now rtime.Time, delta rtime.Duration) {
 func (d *FP) Completed(now rtime.Time, j *Job) {
 	if j.Periodic {
 		if !d.ready.remove(j) {
-			panic(fmt.Sprintf("sim: completed periodic job %s not in ready heap", j.Name))
+			panic(fmt.Sprintf("sim: completed periodic job %s not in ready heap", j.Name()))
 		}
 		return
 	}

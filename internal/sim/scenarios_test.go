@@ -74,10 +74,10 @@ func TestScenario1IdealPS(t *testing.T) {
 
 	for _, j := range r.Aperiodics() {
 		if !j.Finished {
-			t.Errorf("%s unserved", j.Name)
+			t.Errorf("%s unserved", j.Name())
 		}
 		if got := j.ResponseTime(); got != rtime.TUs(2) {
-			t.Errorf("%s response = %v, want 2tu", j.Name, got)
+			t.Errorf("%s response = %v, want 2tu", j.Name(), got)
 		}
 	}
 	if r.PeriodicMisses != 0 {
@@ -199,7 +199,7 @@ func TestLimitedDSBudgetExtension(t *testing.T) {
 	checkSegments(t, r.Trace, "DS", []seg{{0, 3, "a1"}, {5, 7, "a2"}})
 	for _, j := range r.Aperiodics() {
 		if !j.Finished {
-			t.Errorf("%s unserved", j.Name)
+			t.Errorf("%s unserved", j.Name())
 		}
 	}
 }

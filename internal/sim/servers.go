@@ -39,7 +39,7 @@ func (f *fifoQueue) firstFitting(budget func(*Job) rtime.Duration) *Job {
 
 func (f *fifoQueue) attribute(srvName string, j *Job) {
 	j.Entity = srvName
-	j.Label = j.Name
+	j.Label = j.Name()
 }
 
 // ---------------------------------------------------------------------------
@@ -103,7 +103,7 @@ func (s *psIdeal) consumed(now rtime.Time, j *Job, delta rtime.Duration, tr *tra
 
 func (s *psIdeal) completed(now rtime.Time, j *Job) {
 	if !s.queue.remove(j) {
-		panic(fmt.Sprintf("sim: PS completed job %s not queued", j.Name))
+		panic(fmt.Sprintf("sim: PS completed job %s not queued", j.Name()))
 	}
 }
 
@@ -160,7 +160,7 @@ func (s *dsIdeal) consumed(now rtime.Time, j *Job, delta rtime.Duration, tr *tra
 
 func (s *dsIdeal) completed(now rtime.Time, j *Job) {
 	if !s.queue.remove(j) {
-		panic(fmt.Sprintf("sim: DS completed job %s not queued", j.Name))
+		panic(fmt.Sprintf("sim: DS completed job %s not queued", j.Name()))
 	}
 }
 

@@ -148,12 +148,12 @@ func TestSlackNeverCausesMissesAndBeatsBackground(t *testing.T) {
 		for i := range slackJobs {
 			if bgJobs[i].Finished && !slackJobs[i].Finished {
 				t.Errorf("trial %d: %s served by BG but not by slack stealing",
-					trial, slackJobs[i].Name)
+					trial, slackJobs[i].Name())
 			}
 			if bgJobs[i].Finished && slackJobs[i].Finished &&
 				slackJobs[i].Finish > bgJobs[i].Finish {
 				t.Errorf("trial %d: %s slower under slack stealing (%v vs %v)",
-					trial, slackJobs[i].Name, slackJobs[i].Finish.TUs(), bgJobs[i].Finish.TUs())
+					trial, slackJobs[i].Name(), slackJobs[i].Finish.TUs(), bgJobs[i].Finish.TUs())
 			}
 		}
 	}

@@ -21,6 +21,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"rtsj/internal/rtime"
 )
@@ -205,7 +206,6 @@ func (s System) Utilization() float64 {
 // Job is a runtime instance of a periodic task release or an aperiodic
 // arrival.
 type Job struct {
-	Name     string
 	Periodic bool
 	Release  rtime.Time
 	AbsDL    rtime.Time // rtime.Forever when no deadline
@@ -229,10 +229,33 @@ type Job struct {
 	Entity string
 	Label  string
 
-	seq     int64
-	taskIdx int // index into System.Periodics, or -1
-	apIdx   int // index into System.Aperiodics, or -1
+	// name is the display name, formatted lazily for periodic releases so
+	// the engine's release loop stays free of string formatting; instance
+	// is the 1-based periodic release number it encodes.
+	name     string
+	instance int64
+	seq      int64
+	taskIdx  int // index into System.Periodics, or -1
+	apIdx    int // index into System.Aperiodics, or -1
 }
+
+// Name returns the job's display name ("tau1#3" for the third release of
+// tau1; the aperiodic's configured or generated name). Periodic instance
+// names are formatted on first access and cached: like Result and
+// trace.Trace, a Job is not safe for concurrent use — share Results
+// across harness workers only after the run, one reader at a time.
+func (j *Job) Name() string {
+	if j.name == "" && j.Periodic {
+		j.name = j.Entity + "#" + strconv.FormatInt(j.instance, 10)
+	}
+	return j.name
+}
+
+// AperiodicName names an unnamed aperiodic arrival after its zero-based
+// index ("J1", "J2", ...), without fmt. Both engines (sim and the Task
+// Server Framework bridge) use it, so cross-engine differential tests can
+// match jobs to handler records by name.
+func AperiodicName(idx int) string { return "J" + strconv.Itoa(idx+1) }
 
 // ResponseTime returns finish - release for finished jobs.
 func (j *Job) ResponseTime() rtime.Duration {

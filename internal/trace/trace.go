@@ -91,6 +91,31 @@ type Event struct {
 	Label  string
 }
 
+// Sink receives schedule recordings from an engine. *Trace is the
+// accumulating implementation; Nop discards everything, which lets
+// metrics-only runs (the table and matrix cells) skip all trace
+// bookkeeping and its allocations.
+type Sink interface {
+	// DeclareEntity registers a row before any segment is recorded.
+	DeclareEntity(name string)
+	// Run records that entity executed over [start, end).
+	Run(entity string, start, end rtime.Time, label string)
+	// Mark records a point event.
+	Mark(entity string, at rtime.Time, kind EventKind, label string)
+}
+
+// Nop is a Sink that discards every recording.
+type Nop struct{}
+
+// DeclareEntity implements Sink.
+func (Nop) DeclareEntity(string) {}
+
+// Run implements Sink.
+func (Nop) Run(string, rtime.Time, rtime.Time, string) {}
+
+// Mark implements Sink.
+func (Nop) Mark(string, rtime.Time, EventKind, string) {}
+
 // Trace accumulates segments and events for one run. The zero value is
 // ready to use. Trace is not safe for concurrent use; both engines are
 // single-threaded at the points where they record.
@@ -104,6 +129,12 @@ type Trace struct {
 
 // New returns an empty trace.
 func New() *Trace { return &Trace{} }
+
+// Both implementations satisfy Sink.
+var (
+	_ Sink = (*Trace)(nil)
+	_ Sink = Nop{}
+)
 
 func (tr *Trace) noteEntity(name string) {
 	if tr.order == nil {
