@@ -253,6 +253,59 @@ func BenchmarkEngineExecThroughput(b *testing.B) {
 	b.ReportMetric(float64(events*b.N)/b.Elapsed().Seconds(), "events/s")
 }
 
+// BenchmarkExecThroughput measures the virtual-time executive alone —
+// no sim engine, no RTSJ emulation — on a mixed workload: eight periodic
+// consume/sleep threads at staggered priorities (mostly batched inline by
+// the direct kernel) plus a notify ping-pong pair that forces a real
+// parked-goroutine handoff per event. The events/s metric isolates the
+// kernel-loop win from the engine numbers.
+func BenchmarkExecThroughput(b *testing.B) {
+	ex := exec.New(trace.New())
+	events := 0
+	for i := 0; i < 8; i++ {
+		period := rtime.TUs(float64(4 + i))
+		cost := rtime.TUs(0.25 + 0.05*float64(i))
+		ex.Spawn(fmt.Sprintf("p%d", i), 2+i%4, 0, func(tc *exec.TC) {
+			next := rtime.Time(0)
+			for {
+				tc.Consume(cost)
+				events++
+				next = next.Add(period)
+				tc.SleepUntil(next)
+			}
+		})
+	}
+	// The pair runs at the lowest priority, soaking up idle time: pong is
+	// spawned first so it parks on its queue before ping's first notify.
+	ping, pong := exec.NewWaitQueue("ping"), exec.NewWaitQueue("pong")
+	ex.Spawn("pong", 1, 0, func(tc *exec.TC) {
+		for {
+			tc.Wait(pong)
+			tc.Consume(rtime.TUs(0.5))
+			events++
+			tc.NotifyAll(ping)
+		}
+	})
+	ex.Spawn("ping", 1, 0, func(tc *exec.TC) {
+		for {
+			tc.Consume(rtime.TUs(0.5))
+			events++
+			tc.NotifyAll(pong)
+			tc.Wait(ping)
+		}
+	})
+	b.ResetTimer()
+	if err := ex.Run(rtime.Time(rtime.TUs(1)) * rtime.Time(b.N)); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	ex.Shutdown()
+	if events == 0 {
+		b.Fatal("no events scheduled")
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
 // BenchmarkExecContextSwitch measures the raw cost of one executive
 // preemption round trip (kernel -> thread -> kernel).
 func BenchmarkExecContextSwitch(b *testing.B) {

@@ -1,0 +1,334 @@
+// Command benchgate is the repository's performance-baseline gate.
+//
+// It runs the engine, executive and table benchmarks at a fixed -benchtime,
+// takes per-benchmark minima over -count repetitions (the minimum is the
+// robust estimator of a benchmark's true cost under scheduler, GC-drift and
+// noisy-neighbour interference), writes a
+// benchstat-compatible snapshot (BENCH_<date>.json, whose "raw" field is the
+// verbatim `go test -bench` text: extract it with `jq -r .raw` and feed it
+// straight to benchstat), and fails — exit code 1 — when any benchmark's
+// minimum ns/op regressed more than -threshold versus the committed baseline
+// in bench/baseline.json.
+//
+// Refresh the baseline after an intentional performance change:
+//
+//	go run ./cmd/benchgate -update
+//
+// Every snapshot also records a calibration measurement (a fixed integer
+// spin workload); when both sides carry one, the gate compares
+// speed-normalized ratios, so the committed baseline transfers across
+// machines of different raw CPU speed. Microarchitectural differences can
+// still skew individual benchmarks — refresh the baseline from the gating
+// hardware when they do.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Snapshot is the on-disk benchmark record. NsPerOp holds each benchmark's
+// minimum ns/op keyed by name (GOMAXPROCS suffix stripped); Raw preserves
+// the verbatim benchmark output for benchstat. SpinNs is the calibration
+// measurement: the minimum time for a fixed single-core integer workload
+// on the machine that produced the snapshot. The gate divides every ns/op
+// by it, so a committed baseline transfers across machines of different
+// scalar speed (first-order; microarchitectural shifts still show).
+type Snapshot struct {
+	Date      string             `json:"date"`
+	GoOS      string             `json:"goos"`
+	GoArch    string             `json:"goarch"`
+	Bench     string             `json:"bench"`
+	BenchTime string             `json:"benchtime"`
+	Count     int                `json:"count"`
+	SpinNs    float64            `json:"spin_ns,omitempty"`
+	NsPerOp   map[string]float64 `json:"ns_per_op"`
+	Raw       string             `json:"raw"`
+}
+
+// spinSink defeats dead-code elimination of the calibration loop.
+var spinSink uint64
+
+// calibrate times a fixed integer workload (minimum of reps runs): a
+// machine-speed numeraire for cross-machine baseline comparison.
+func calibrate() float64 {
+	const iters = 50_000_000
+	best := 0.0
+	for rep := 0; rep < 5; rep++ {
+		start := time.Now()
+		x := uint64(88172645463325252)
+		for i := 0; i < iters; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		spinSink += x
+		ns := float64(time.Since(start).Nanoseconds())
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+
+func main() {
+	var (
+		bench     = flag.String("bench", `^(BenchmarkEngine|BenchmarkExec|BenchmarkTable)`, "benchmark regexp passed to go test -bench")
+		benchtime = flag.String("benchtime", "500ms", "fixed -benchtime for every run")
+		count     = flag.Int("count", 5, "repetitions per benchmark; the gate compares minima")
+		pkg       = flag.String("pkg", ".", "package holding the benchmarks")
+		baseline  = flag.String("baseline", "bench/baseline.json", "committed baseline to gate against")
+		threshold = flag.Float64("threshold", 0.15, "relative ns/op regression that fails the gate")
+		out       = flag.String("out", "", "snapshot output path (default BENCH_<date>.json)")
+		update    = flag.Bool("update", false, "rewrite the baseline from this run instead of gating")
+		input     = flag.String("input", "", "parse an existing go test -bench output file instead of running benchmarks")
+		retries   = flag.Int("retries", 2, "times to re-measure benchmarks that look regressed before failing")
+	)
+	flag.Parse()
+
+	snap, err := collect(*bench, *benchtime, *count, *pkg, *input)
+	if err != nil {
+		fatal(err)
+	}
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", snap.Date)
+	}
+	if err := writeJSON(path, snap); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchgate: wrote %s (%d benchmarks)\n", path, len(snap.NsPerOp))
+
+	if *update {
+		if err := writeJSON(*baseline, snap); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: baseline %s updated\n", *baseline)
+		return
+	}
+
+	base, err := readJSON(*baseline)
+	if err != nil {
+		fatal(fmt.Errorf("no usable baseline at %s (%v); run `go run ./cmd/benchgate -update` to create one", *baseline, err))
+	}
+
+	// A minimum can still be inflated when an interference burst covers a
+	// whole benchmark's samples, so contested benchmarks are re-measured
+	// (their minima merged) before the verdict: a real regression survives
+	// the retries, a noisy-neighbour spike does not.
+	for retry := 0; retry < *retries; retry++ {
+		contested := regressions(base, snap, *threshold)
+		if len(contested) == 0 || *input != "" {
+			break
+		}
+		fmt.Printf("benchgate: re-measuring %d contested benchmark(s), retry %d\n", len(contested), retry+1)
+		again, err := collect("^("+strings.Join(contested, "|")+")$", *benchtime, *count, *pkg, "")
+		if err != nil {
+			fatal(err)
+		}
+		for name, ns := range again.NsPerOp {
+			if ns < snap.NsPerOp[name] {
+				snap.NsPerOp[name] = ns
+			}
+		}
+		snap.Raw += again.Raw
+		if err := writeJSON(path, snap); err != nil {
+			fatal(err)
+		}
+	}
+	if failed := gate(base, snap, *threshold); failed {
+		os.Exit(1)
+	}
+}
+
+// regressions returns the benchmarks whose current minimum exceeds the
+// (speed-normalized) baseline by more than threshold.
+func regressions(base, cur *Snapshot, threshold float64) []string {
+	scale := 1.0
+	if base.SpinNs > 0 && cur.SpinNs > 0 {
+		scale = base.SpinNs / cur.SpinNs
+	}
+	var out []string
+	for name, now := range cur.NsPerOp {
+		if old, ok := base.NsPerOp[name]; ok && old > 0 && now/(old*scale)-1 > threshold {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// collect runs (or reads) the benchmarks and reduces each to its minimum.
+// Each benchmark runs in its own `go test` process: a fresh heap per
+// benchmark makes the minimum reproducible (in a shared process, a
+// benchmark's cost drifts with the garbage earlier benchmarks left behind).
+func collect(bench, benchtime string, count int, pkg, input string) (*Snapshot, error) {
+	var raw []byte
+	var err error
+	if input != "" {
+		raw, err = os.ReadFile(input)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		names, err := listBenchmarks(bench, pkg)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range names {
+			args := []string{"test", "-run", "^$", "-bench", "^" + name + "$",
+				"-benchtime", benchtime, "-count", strconv.Itoa(count), pkg}
+			fmt.Printf("benchgate: go %v\n", args)
+			cmd := exec.Command("go", args...)
+			cmd.Stderr = os.Stderr
+			out, err := cmd.Output()
+			if err != nil {
+				return nil, fmt.Errorf("go test -bench %s failed: %w\n%s", name, err, out)
+			}
+			raw = append(raw, out...)
+		}
+	}
+	samples := map[string][]float64{}
+	goos, goarch := "", ""
+	for _, line := range strings.Split(string(raw), "\n") {
+		if m := benchLine.FindStringSubmatch(line); m != nil {
+			ns, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				continue
+			}
+			samples[m[1]] = append(samples[m[1]], ns)
+			continue
+		}
+		if n, ok := strings.CutPrefix(line, "goos: "); ok {
+			goos = n
+		}
+		if n, ok := strings.CutPrefix(line, "goarch: "); ok {
+			goarch = n
+		}
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("no benchmark results matched %q", bench)
+	}
+	snap := &Snapshot{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoOS:      goos,
+		GoArch:    goarch,
+		Bench:     bench,
+		BenchTime: benchtime,
+		Count:     count,
+		SpinNs:    calibrate(),
+		NsPerOp:   map[string]float64{},
+		Raw:       string(raw),
+	}
+	for name, s := range samples {
+		sort.Float64s(s)
+		snap.NsPerOp[name] = s[0] // minimum: robust to one-sided interference noise
+	}
+	return snap, nil
+}
+
+// gate compares minima and reports every regression beyond the threshold.
+// When both snapshots carry a calibration measurement, ns/op are compared
+// as multiples of each machine's spin time, cancelling raw CPU-speed
+// differences between the baseline machine and the gating machine.
+func gate(base, cur *Snapshot, threshold float64) (failed bool) {
+	scale := 1.0
+	if base.SpinNs > 0 && cur.SpinNs > 0 {
+		scale = base.SpinNs / cur.SpinNs
+		fmt.Printf("benchgate: calibration %0.f -> %0.f spin-ns; comparing speed-normalized ratios (x%.3f)\n",
+			base.SpinNs, cur.SpinNs, scale)
+	}
+	names := make([]string, 0, len(cur.NsPerOp))
+	for name := range cur.NsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		now := cur.NsPerOp[name]
+		old, ok := base.NsPerOp[name]
+		if !ok || old <= 0 {
+			fmt.Printf("  new   %-40s %12.0f ns/op (no baseline entry)\n", name, now)
+			continue
+		}
+		delta := now/(old*scale) - 1
+		mark := "ok   "
+		if delta > threshold {
+			mark = "FAIL "
+			failed = true
+		}
+		fmt.Printf("  %s %-40s %12.0f -> %12.0f ns/op  (%+.1f%%)\n", mark, name, old, now, 100*delta)
+	}
+	for name := range base.NsPerOp {
+		if _, ok := cur.NsPerOp[name]; !ok {
+			fmt.Printf("  gone  %-40s (in baseline, not measured — tighten -bench?)\n", name)
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Printf("benchgate: FAIL — regression beyond %.0f%% vs baseline (%s, %s/%s)\n",
+			100*threshold, base.Date, base.GoOS, base.GoArch)
+	} else {
+		fmt.Printf("benchgate: ok — within %.0f%% of baseline (%s)\n", 100*threshold, base.Date)
+	}
+	return failed
+}
+
+// listBenchmarks enumerates the top-level benchmarks matching re in pkg.
+func listBenchmarks(re, pkg string) ([]string, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-list", re, pkg)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test -list failed: %w\n%s", err, out)
+	}
+	var names []string
+	for _, line := range strings.Split(string(out), "\n") {
+		if strings.HasPrefix(line, "Benchmark") {
+			names = append(names, strings.TrimSpace(line))
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no benchmarks match %q in %s", re, pkg)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func readJSON(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, err
+	}
+	if len(s.NsPerOp) == 0 {
+		return nil, fmt.Errorf("baseline holds no benchmarks")
+	}
+	return &s, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

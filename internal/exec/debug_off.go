@@ -1,0 +1,11 @@
+//go:build !debugchecks
+
+package exec
+
+// debugChecks gates the O(n log n) ready-queue invariant verification
+// (checkReadyHeap) out of the per-dispatch hot path. Build with
+// `-tags debugchecks` to run the full sorted-order check on every dispatch;
+// in default builds the constant folds the call away entirely.
+const debugChecks = false
+
+func (ex *Exec) checkReadyHeap() {}

@@ -12,20 +12,52 @@
 // interruption of a budgeted section (Timed/AIE), wall-clock capacity
 // accounting — is reproduced exactly and deterministically.
 //
-// Mechanics: thread bodies are goroutines, but exactly one runs at a time.
-// The kernel hands control to a thread with a channel send and waits for the
-// thread's next kernel call; code between kernel calls executes in zero
-// virtual time. Virtual time only advances while a thread is inside Consume
-// or when the processor is idle.
+// Mechanics: thread bodies are goroutines, but exactly one runs at a time;
+// code between kernel calls executes in zero virtual time, and virtual time
+// only advances while a thread is inside Consume or the processor is idle.
+// Two kernels implement that contract:
+//
+//   - DirectKernel (the default): channel-free. The scheduling loop runs
+//     inline in whichever goroutine currently holds the virtual CPU, so
+//     consecutive same-thread Consume/advance/sleep steps never leave the
+//     goroutine, and a real parked-goroutine handoff (mutex + condition
+//     variable, one futex wake per switch) happens only when a *different*
+//     thread must run. The ready queue and timer queue are binary heaps.
+//
+//   - ChannelKernel: the original two-channel rendezvous (kernel goroutine
+//     resumes a thread, thread sends its next request back), with linear
+//     ready/timer scans. It is kept as the reference implementation
+//     (unchanged except one deliberate fix noted in kernel_channel.go:
+//     cancelled timers never fire); differential tests assert both kernels
+//     produce trace-for-trace identical schedules.
 package exec
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 
 	"rtsj/internal/rtime"
 	"rtsj/internal/trace"
 )
+
+// Kernel selects the executive's scheduling implementation.
+type Kernel int
+
+const (
+	// DirectKernel is the channel-free executive: inline scheduling with
+	// batched same-thread steps and condition-variable handoffs.
+	DirectKernel Kernel = iota
+	// ChannelKernel is the legacy channel-rendezvous executive, kept as the
+	// reference implementation for differential testing.
+	ChannelKernel
+)
+
+func (k Kernel) String() string {
+	if k == ChannelKernel {
+		return "channel"
+	}
+	return "direct"
+}
 
 type threadState int
 
@@ -37,10 +69,9 @@ const (
 	stateDone
 )
 
-// resumeMsg is what the kernel sends a parked thread goroutine.
+// resumeMsg is what the kernel delivers to a parked thread goroutine.
 type resumeMsg struct {
-	interrupted bool // the pending Consume was asynchronously interrupted
-	kill        bool // the executive is shutting down; unwind now
+	kill bool // the executive is shutting down; unwind now
 }
 
 type reqKind int
@@ -79,7 +110,14 @@ type Thread struct {
 	readySeq int64
 	wakeAt   rtime.Time
 
+	// ChannelKernel handoff.
 	resumeCh chan resumeMsg
+
+	// DirectKernel handoff: park/wake under ex.mu.
+	cond      *sync.Cond
+	scheduled bool
+	killed    bool
+	heapIdx   int // position in the ready heap, -1 when not enqueued
 
 	// Consume state.
 	needCPU  rtime.Duration
@@ -135,28 +173,73 @@ type WaitQueue struct {
 // NewWaitQueue returns a named wait queue.
 func NewWaitQueue(name string) *WaitQueue { return &WaitQueue{name: name} }
 
-// Exec is the virtual-time executive. Create with New, add threads with
-// Spawn, then call Run.
+// runPhase is the DirectKernel scheduling-loop phase (see dispatch).
+type runPhase int
+
+const (
+	phaseIdle runPhase = iota
+	phaseRunning
+	phaseDraining
+	phaseDone
+)
+
+// Exec is the virtual-time executive. Create with New (direct kernel) or
+// NewKernel, add threads with Spawn, then call Run.
 type Exec struct {
+	kind    Kernel
 	now     rtime.Time
 	threads []*Thread
-	timers  []*timerEv
 	tr      *trace.Trace
 
-	reqCh    chan request
+	// ChannelKernel state: pending timers (linear) and the request channel.
+	timers []*timerEv
+	reqCh  chan request
+
+	// DirectKernel state: heap-backed queues and the handoff protocol.
+	ready  readyHeap
+	theap  timerHeap
+	mu     sync.Mutex
+	main   sync.Cond // parks the Run goroutine while threads hold the CPU
+	reap   sync.Cond // Shutdown waits here for killed threads to die
+	mainOn bool      // main has been scheduled (run is over)
+
+	// Run-loop state shared with dispatch (DirectKernel).
+	phase      runPhase
+	until      rtime.Time
+	zeroSteps  int
+	lastNow    rtime.Time
+	drainSteps int
+	runErr     error
+
 	seq      int64
 	running  bool
 	shutdown bool
 	errs     []error
 }
 
-// New returns an executive tracing into tr (may be nil).
-func New(tr *trace.Trace) *Exec {
+// New returns an executive tracing into tr (may be nil), on the default
+// direct (channel-free) kernel.
+func New(tr *trace.Trace) *Exec { return NewKernel(tr, DirectKernel) }
+
+// NewKernel returns an executive on an explicitly chosen kernel. Both
+// kernels implement the same deterministic scheduling contract; the choice
+// only affects how goroutine handoffs are realized.
+func NewKernel(tr *trace.Trace, kind Kernel) *Exec {
 	if tr == nil {
 		tr = trace.New()
 	}
-	return &Exec{tr: tr, reqCh: make(chan request)}
+	ex := &Exec{kind: kind, tr: tr}
+	if kind == ChannelKernel {
+		ex.reqCh = make(chan request)
+	} else {
+		ex.main.L = &ex.mu
+		ex.reap.L = &ex.mu
+	}
+	return ex
 }
+
+// KernelKind returns the kernel this executive runs on.
+func (ex *Exec) KernelKind() Kernel { return ex.kind }
 
 // Trace returns the execution trace.
 func (ex *Exec) Trace() *trace.Trace { return ex.tr }
@@ -168,17 +251,23 @@ func (ex *Exec) Now() rtime.Time { return ex.now }
 // own goroutine but under the executive's scheduling discipline.
 func (ex *Exec) Spawn(name string, prio int, startAt rtime.Time, body func(tc *TC)) *Thread {
 	th := &Thread{
-		ex:       ex,
-		name:     name,
-		prio:     prio,
-		boost:    prio,
-		state:    stateNew,
-		resumeCh: make(chan resumeMsg),
-		body:     body,
+		ex:      ex,
+		name:    name,
+		prio:    prio,
+		boost:   prio,
+		state:   stateNew,
+		heapIdx: -1,
+		body:    body,
 	}
 	ex.threads = append(ex.threads, th)
 	ex.tr.DeclareEntity(name)
-	go th.run()
+	if ex.kind == ChannelKernel {
+		th.resumeCh = make(chan resumeMsg)
+		go th.channelRun()
+	} else {
+		th.cond = sync.NewCond(&ex.mu)
+		go th.directRun()
+	}
 	if startAt <= ex.now {
 		ex.makeReady(th)
 	} else {
@@ -187,25 +276,6 @@ func (ex *Exec) Spawn(name string, prio int, startAt rtime.Time, body func(tc *T
 		ex.At(startAt, func() { ex.makeReady(th) })
 	}
 	return th
-}
-
-// run is the goroutine wrapper around a thread body.
-func (th *Thread) run() {
-	msg := <-th.resumeCh
-	if msg.kill {
-		th.ex.reqCh <- request{th: th, kind: reqTerminate}
-		return
-	}
-	defer func() {
-		var err error
-		if r := recover(); r != nil {
-			if _, isKill := r.(killSentinel); !isKill {
-				err = fmt.Errorf("exec: thread %s panicked: %v", th.name, r)
-			}
-		}
-		th.ex.reqCh <- request{th: th, kind: reqTerminate, err: err}
-	}()
-	th.body(&TC{th: th})
 }
 
 type killSentinel struct{}
@@ -221,7 +291,11 @@ func (ex *Exec) At(at rtime.Time, fn func()) (cancel func()) {
 		at = ex.now
 	}
 	ev := &timerEv{at: at, seq: ex.nextSeq(), fn: fn}
-	ex.timers = append(ex.timers, ev)
+	if ex.kind == ChannelKernel {
+		ex.timers = append(ex.timers, ev)
+	} else {
+		ex.theap.push(ev)
+	}
 	return func() { ev.cancelled = true }
 }
 
@@ -230,32 +304,36 @@ func (ex *Exec) nextSeq() int64 {
 	return ex.seq
 }
 
+// makeReady moves th to the ready queue (re-queuing, with a fresh FIFO rank,
+// if it was already there).
 func (ex *Exec) makeReady(th *Thread) {
 	if th.state == stateDone {
 		return
 	}
 	th.state = stateReady
 	th.readySeq = ex.nextSeq()
-}
-
-// pickReady returns the highest-priority ready thread (FIFO within a
-// priority level by wake order), or nil.
-func (ex *Exec) pickReady() *Thread {
-	var best *Thread
-	for _, th := range ex.threads {
-		if th.state != stateReady {
-			continue
-		}
-		if best == nil || th.effPrio() > best.effPrio() ||
-			(th.effPrio() == best.effPrio() && th.readySeq < best.readySeq) {
-			best = th
+	if ex.kind == DirectKernel {
+		if th.heapIdx >= 0 {
+			ex.ready.fix(th.heapIdx) // seq grew: sink to the new FIFO rank
+		} else {
+			ex.ready.push(th)
 		}
 	}
-	return best
+}
+
+// readyRemove drops th from the ready heap (DirectKernel bookkeeping; the
+// channel kernel scans thread states instead).
+func (ex *Exec) readyRemove(th *Thread) {
+	if ex.kind == DirectKernel && th.heapIdx >= 0 {
+		ex.ready.remove(th)
+	}
 }
 
 // nextTimer returns the earliest pending timer, or nil.
 func (ex *Exec) nextTimer() *timerEv {
+	if ex.kind == DirectKernel {
+		return ex.theap.peek()
+	}
 	var best *timerEv
 	for _, ev := range ex.timers {
 		if ev.cancelled {
@@ -268,30 +346,40 @@ func (ex *Exec) nextTimer() *timerEv {
 	return best
 }
 
-// fireDueTimers runs every timer due at or before now, in (time, seq) order.
-func (ex *Exec) fireDueTimers() {
-	for {
-		var due []*timerEv
-		rest := ex.timers[:0]
-		for _, ev := range ex.timers {
-			if !ev.cancelled && ev.at <= ex.now {
-				due = append(due, ev)
-			} else if !ev.cancelled {
-				rest = append(rest, ev)
-			}
-		}
-		ex.timers = rest
-		if len(due) == 0 {
+// apply processes one kernel request from a thread.
+func (ex *Exec) apply(req request) {
+	th := req.th
+	switch req.kind {
+	case reqConsume:
+		th.needCPU = req.amount
+	case reqSleep:
+		if req.until <= ex.now {
+			// Already due: stay ready (deterministic re-queue).
+			ex.makeReady(th)
 			return
 		}
-		sort.Slice(due, func(i, j int) bool {
-			if due[i].at != due[j].at {
-				return due[i].at < due[j].at
+		th.state = stateSleeping
+		th.wakeAt = req.until
+		ex.readyRemove(th)
+		ex.At(req.until, func() {
+			if th.state == stateSleeping {
+				ex.makeReady(th)
 			}
-			return due[i].seq < due[j].seq
 		})
-		for _, ev := range due {
-			ev.fn() // may schedule new timers; loop again
+	case reqWait:
+		th.state = stateBlocked
+		ex.readyRemove(th)
+		if req.queue != nil {
+			req.queue.waiters = append(req.queue.waiters, th)
+		}
+		// A nil queue is a bare suspension (mutex hand-off): the waker
+		// calls makeReady explicitly.
+	case reqTerminate:
+		th.state = stateDone
+		ex.readyRemove(th)
+		if req.err != nil {
+			th.err = req.err
+			ex.errs = append(ex.errs, req.err)
 		}
 	}
 }
@@ -305,112 +393,10 @@ func (ex *Exec) Run(until rtime.Time) error {
 	}
 	ex.running = true
 	defer func() { ex.running = false }()
-
-	zeroSteps := 0
-	lastNow := ex.now
-	for ex.now < until {
-		ex.fireDueTimers()
-		th := ex.pickReady()
-		if th == nil {
-			ev := ex.nextTimer()
-			if ev == nil {
-				break // quiescent: nothing will ever happen again
-			}
-			ex.now = rtime.Min(ev.at, until)
-			continue
-		}
-		if th.needCPU > 0 {
-			ex.runSlice(th, until)
-			continue
-		}
-		// Zero-time step: let the thread execute Go code until its next
-		// kernel call.
-		if ex.now == lastNow {
-			zeroSteps++
-			if zeroSteps > 1_000_000 {
-				return fmt.Errorf("exec: livelock at %v: thread %s loops without consuming",
-					ex.now, th.name)
-			}
-		} else {
-			zeroSteps = 0
-			lastNow = ex.now
-		}
-		th.resumeCh <- resumeMsg{}
-		req := <-ex.reqCh
-		ex.handle(req)
+	if ex.kind == ChannelKernel {
+		return ex.runChannel(until)
 	}
-	if ex.now > until {
-		ex.now = until
-	}
-	// Drain zero-time work pending at the horizon instant: a consume that
-	// finished exactly at the horizon must still return to its thread so
-	// completion bookkeeping (e.g. a server marking a handler served) is
-	// observable — the discrete-event simulator records such completions,
-	// and the two engines must agree at the boundary.
-	for steps := 0; steps < 1_000_000; steps++ {
-		th := ex.pickReadyZeroCPU()
-		if th == nil {
-			break
-		}
-		th.resumeCh <- resumeMsg{}
-		req := <-ex.reqCh
-		ex.handle(req)
-	}
-	if len(ex.errs) > 0 {
-		return ex.errs[0]
-	}
-	return nil
-}
-
-// pickReadyZeroCPU returns the highest-priority ready thread that is not
-// mid-consume (used by the horizon drain).
-func (ex *Exec) pickReadyZeroCPU() *Thread {
-	var best *Thread
-	for _, th := range ex.threads {
-		if th.state != stateReady || th.needCPU > 0 {
-			continue
-		}
-		if best == nil || th.effPrio() > best.effPrio() ||
-			(th.effPrio() == best.effPrio() && th.readySeq < best.readySeq) {
-			best = th
-		}
-	}
-	return best
-}
-
-// handle processes one kernel request from a thread.
-func (ex *Exec) handle(req request) {
-	th := req.th
-	switch req.kind {
-	case reqConsume:
-		th.needCPU = req.amount
-	case reqSleep:
-		if req.until <= ex.now {
-			// Already due: stay ready (deterministic re-queue).
-			ex.makeReady(th)
-			return
-		}
-		th.state = stateSleeping
-		th.wakeAt = req.until
-		ex.At(req.until, func() {
-			if th.state == stateSleeping {
-				ex.makeReady(th)
-			}
-		})
-	case reqWait:
-		th.state = stateBlocked
-		if req.queue != nil {
-			req.queue.waiters = append(req.queue.waiters, th)
-		}
-		// A nil queue is a bare suspension (mutex hand-off): the waker
-		// calls makeReady explicitly.
-	case reqTerminate:
-		th.state = stateDone
-		if req.err != nil {
-			th.err = req.err
-			ex.errs = append(ex.errs, req.err)
-		}
-	}
+	return ex.runDirect(until)
 }
 
 // runSlice advances time while th consumes CPU, stopping at the next timer
@@ -457,19 +443,11 @@ func (ex *Exec) interruptNow(th *Thread) {
 // goroutine leaks when many executives are created (e.g. in benchmarks).
 func (ex *Exec) Shutdown() {
 	ex.shutdown = true
-	for _, th := range ex.threads {
-		if th.state == stateDone {
-			continue
-		}
-		th.resumeCh <- resumeMsg{kill: true}
-		req := <-ex.reqCh
-		if req.kind != reqTerminate {
-			// The kill unwinds to the terminate request; anything else is
-			// a protocol bug.
-			panic(fmt.Sprintf("exec: thread %s sent %d during shutdown", req.th.name, req.kind))
-		}
-		req.th.state = stateDone
+	if ex.kind == ChannelKernel {
+		ex.shutdownChannel()
+		return
 	}
+	ex.shutdownDirect()
 }
 
 // Errors returns all thread body errors observed.

@@ -1,0 +1,292 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"rtsj/internal/rtime"
+	"rtsj/internal/trace"
+)
+
+// Differential kernel tests: every scenario is built identically on the
+// ChannelKernel (the reference implementation) and the DirectKernel (the
+// channel-free rewrite) and must produce trace-for-trace identical
+// schedules — same segments, same preemption points, same virtual
+// timestamps, same point events, same per-thread accounting.
+
+// diffRun builds the scenario on both kernels, runs to the horizon and
+// compares everything observable.
+func diffRun(t *testing.T, name string, horizon rtime.Time, build func(ex *Exec)) {
+	t.Helper()
+	run := func(kind Kernel) (*Exec, error) {
+		ex := NewKernel(nil, kind)
+		build(ex)
+		err := ex.Run(horizon)
+		return ex, err
+	}
+	ch, chErr := run(ChannelKernel)
+	di, diErr := run(DirectKernel)
+	defer ch.Shutdown()
+	defer di.Shutdown()
+	if (chErr == nil) != (diErr == nil) {
+		t.Fatalf("%s: error mismatch: channel=%v direct=%v", name, chErr, diErr)
+	}
+	compareExecs(t, name, ch, di)
+}
+
+func compareExecs(t *testing.T, name string, ch, di *Exec) {
+	t.Helper()
+	if ch.Now() != di.Now() {
+		t.Errorf("%s: final time differs: channel=%v direct=%v", name, ch.Now().TUs(), di.Now().TUs())
+	}
+	a, b := ch.Trace(), di.Trace()
+	if err := b.CheckSingleCPU(); err != nil {
+		t.Errorf("%s: direct kernel trace invalid: %v", name, err)
+	}
+	if len(a.Segments) != len(b.Segments) {
+		t.Errorf("%s: segment counts differ: channel=%d direct=%d\nchannel:\n%s\ndirect:\n%s",
+			name, len(a.Segments), len(b.Segments),
+			a.Gantt(trace.GanttOptions{}), b.Gantt(trace.GanttOptions{}))
+		return
+	}
+	for i := range a.Segments {
+		if a.Segments[i] != b.Segments[i] {
+			t.Errorf("%s: segment %d differs: channel=%+v direct=%+v", name, i, a.Segments[i], b.Segments[i])
+			return
+		}
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Errorf("%s: event counts differ: channel=%d direct=%d", name, len(a.Events), len(b.Events))
+		return
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Errorf("%s: event %d differs: channel=%+v direct=%+v", name, i, a.Events[i], b.Events[i])
+			return
+		}
+	}
+	for i := range ch.threads {
+		ta, tb := ch.threads[i], di.threads[i]
+		if ta.Name() != tb.Name() || ta.Consumed() != tb.Consumed() || ta.Done() != tb.Done() {
+			t.Errorf("%s: thread %s accounting differs: channel consumed=%v done=%v, direct consumed=%v done=%v",
+				name, ta.Name(), ta.Consumed(), ta.Done(), tb.Consumed(), tb.Done())
+		}
+	}
+}
+
+func TestKernelDiffPreemptionAndFIFO(t *testing.T) {
+	diffRun(t, "preemption", at(20), func(ex *Exec) {
+		ex.Spawn("lo", 1, 0, func(tc *TC) { tc.Consume(tu(6)) })
+		ex.Spawn("hi", 2, at(2), func(tc *TC) { tc.Consume(tu(2)) })
+		ex.Spawn("peer-a", 1, 0, func(tc *TC) { tc.Consume(tu(1)) })
+		ex.Spawn("peer-b", 1, 0, func(tc *TC) { tc.Consume(tu(1)) })
+	})
+}
+
+func TestKernelDiffSleepWaitNotify(t *testing.T) {
+	diffRun(t, "sleep-wait-notify", at(30), func(ex *Exec) {
+		q := NewWaitQueue("q")
+		ex.Spawn("periodic", 3, 0, func(tc *TC) {
+			next := rtime.Time(0)
+			for i := 0; i < 4; i++ {
+				tc.Consume(tu(1))
+				next = next.Add(tu(5))
+				tc.SleepUntil(next)
+			}
+		})
+		ex.Spawn("waiter", 2, 0, func(tc *TC) {
+			tc.Wait(q)
+			tc.Consume(tu(2))
+		})
+		ex.Spawn("notifier", 1, 0, func(tc *TC) {
+			tc.Consume(tu(4))
+			tc.NotifyAll(q)
+			tc.Consume(tu(1))
+		})
+	})
+}
+
+func TestKernelDiffBudgetInterrupt(t *testing.T) {
+	diffRun(t, "budget", at(30), func(ex *Exec) {
+		ex.Spawn("timerd", 9, at(1), func(tc *TC) { tc.Consume(tu(1)) })
+		ex.Spawn("srv", 1, 0, func(tc *TC) {
+			tc.WithBudget(tu(3), func() { tc.Consume(tu(3)) }) // wall-clock: interrupted
+			tc.WithBudget(tu(5), func() { tc.Consume(tu(2)) }) // completes
+		})
+	})
+}
+
+func TestKernelDiffMutexPriorityInheritance(t *testing.T) {
+	diffRun(t, "mutex-pi", at(40), func(ex *Exec) {
+		m := NewMutex("m")
+		ex.Spawn("low", 1, 0, func(tc *TC) {
+			tc.WithLock(m, func() { tc.Consume(tu(5)) })
+			tc.Consume(tu(1))
+		})
+		ex.Spawn("mid", 2, at(1), func(tc *TC) { tc.Consume(tu(3)) })
+		ex.Spawn("high", 3, at(2), func(tc *TC) {
+			tc.WithLock(m, func() { tc.Consume(tu(1)) })
+		})
+	})
+}
+
+func TestKernelDiffSpawnFromThreadAndHorizonDrain(t *testing.T) {
+	diffRun(t, "spawn-horizon", at(5), func(ex *Exec) {
+		ex.Spawn("parent", 1, 0, func(tc *TC) {
+			tc.Consume(tu(1))
+			tc.Exec().Spawn("child", 2, tc.Now(), func(tc2 *TC) {
+				tc2.Consume(tu(2))
+			})
+			tc.Consume(tu(10)) // still mid-consume at the horizon
+		})
+	})
+}
+
+func TestKernelDiffRunContinuation(t *testing.T) {
+	// Two Run calls: threads parked mid-consume at the first horizon must
+	// continue identically in the second window on both kernels.
+	build := func(ex *Exec) {
+		ex.Spawn("a", 2, 0, func(tc *TC) {
+			for i := 0; i < 3; i++ {
+				tc.Consume(tu(4))
+				tc.Sleep(tu(2))
+			}
+		})
+		ex.Spawn("b", 1, 0, func(tc *TC) { tc.Consume(tu(9)) })
+	}
+	ch := NewKernel(nil, ChannelKernel)
+	di := NewKernel(nil, DirectKernel)
+	build(ch)
+	build(di)
+	for _, horizon := range []rtime.Time{at(5), at(11), at(40)} {
+		if err := ch.Run(horizon); err != nil {
+			t.Fatal(err)
+		}
+		if err := di.Run(horizon); err != nil {
+			t.Fatal(err)
+		}
+		compareExecs(t, fmt.Sprintf("continuation@%v", horizon.TUs()), ch, di)
+	}
+	ch.Shutdown()
+	di.Shutdown()
+}
+
+// TestKernelDiffFuzz runs randomized thread/priority workloads through both
+// kernels: random mixes of consume, sleep, contended locking and budgeted
+// sections across threads with random priorities and release offsets.
+func TestKernelDiffFuzz(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := newDetRand(uint64(4000 + trial))
+		n := 2 + rng.next()%6
+		type op struct {
+			kind  int // 0 consume, 1 sleep, 2 lock+consume, 3 budget+consume, 4 wait, 5 notify
+			dur   rtime.Duration
+			mutex int
+		}
+		plans := make([][]op, n)
+		prios := make([]int, n)
+		starts := make([]rtime.Time, n)
+		for i := 0; i < n; i++ {
+			prios[i] = 1 + rng.next()%4
+			starts[i] = rtime.Time(rtime.Duration(rng.next()%12) * rtime.TU / 2)
+			steps := 1 + rng.next()%6
+			for s := 0; s < steps; s++ {
+				plans[i] = append(plans[i], op{
+					kind:  rng.next() % 6,
+					dur:   rtime.Duration(1+rng.next()%40) * rtime.TU / 10,
+					mutex: rng.next() % 2,
+				})
+			}
+		}
+		diffRun(t, fmt.Sprintf("fuzz-%d", trial), at(100), func(ex *Exec) {
+			ms := []*Mutex{NewMutex("m0"), NewMutex("m1")}
+			q := NewWaitQueue("fq")
+			for i := 0; i < n; i++ {
+				plan := plans[i]
+				ex.Spawn(fmt.Sprintf("f%d", i), prios[i], starts[i], func(tc *TC) {
+					for _, o := range plan {
+						switch o.kind {
+						case 0:
+							tc.Consume(o.dur)
+						case 1:
+							tc.Sleep(o.dur)
+						case 2:
+							tc.WithLock(ms[o.mutex], func() { tc.Consume(o.dur) })
+						case 3:
+							tc.WithBudget(o.dur, func() { tc.Consume(o.dur + o.dur/2) })
+						case 4:
+							tc.NotifyAll(q) // wake anyone parked before us, then park
+							tc.Wait(q)
+						case 5:
+							tc.NotifyAll(q)
+							tc.Consume(o.dur / 2)
+						}
+					}
+					tc.NotifyAll(q) // do not strand waiters at exit
+				})
+			}
+		})
+		if t.Failed() {
+			t.Fatalf("fuzz trial %d diverged (seed %d)", trial, 4000+trial)
+		}
+	}
+}
+
+// TestKernelDiffSameInstantCancel pins the edge where a timer fn cancels
+// another timer due at the same instant: on both kernels a cancelled timer
+// never fires, even when it was already due when the batch began.
+func TestKernelDiffSameInstantCancel(t *testing.T) {
+	for _, kind := range []Kernel{ChannelKernel, DirectKernel} {
+		ex := NewKernel(nil, kind)
+		fired := false
+		var cancel func()
+		ex.At(at(5), func() { cancel() })
+		cancel = ex.At(at(5), func() { fired = true })
+		if err := ex.Run(at(10)); err != nil {
+			t.Fatal(err)
+		}
+		ex.Shutdown()
+		if fired {
+			t.Errorf("%v kernel: timer cancelled at its own instant still fired", kind)
+		}
+	}
+	// And the schedules around such a cancellation stay identical.
+	diffRun(t, "same-instant-cancel", at(20), func(ex *Exec) {
+		e := ex
+		var cancel func()
+		q := NewWaitQueue("q")
+		ex.Spawn("victim", 2, 0, func(tc *TC) {
+			tc.Wait(q)
+			tc.Consume(tu(1))
+		})
+		e.At(at(5), func() { cancel() })
+		cancel = e.At(at(5), func() { e.NotifyAll(q) })
+		e.At(at(7), func() { e.NotifyAll(q) })
+		ex.Spawn("busy", 1, 0, func(tc *TC) { tc.Consume(tu(12)) })
+	})
+}
+
+// TestChannelKernelStillWorks pins the reference kernel's basic behaviour
+// so the differential baseline itself cannot silently rot.
+func TestChannelKernelStillWorks(t *testing.T) {
+	ex := NewKernel(nil, ChannelKernel)
+	if ex.KernelKind() != ChannelKernel {
+		t.Fatal("kernel kind not recorded")
+	}
+	th := ex.Spawn("a", 1, 0, func(tc *TC) {
+		tc.Consume(tu(2))
+		tc.Sleep(tu(1))
+		tc.Consume(tu(1))
+	})
+	if err := ex.Run(at(10)); err != nil {
+		t.Fatal(err)
+	}
+	ex.Shutdown()
+	if th.Consumed() != tu(3) || !th.Done() {
+		t.Fatalf("consumed=%v done=%v", th.Consumed(), th.Done())
+	}
+}

@@ -36,7 +36,8 @@ func (th *Thread) effPrio() int {
 
 // recomputeBoost recalculates a thread's inherited boost from the waiters
 // of every contended lock it holds, and propagates the change up the chain
-// of locks the thread itself may be blocked on.
+// of locks the thread itself may be blocked on. A boost change re-keys the
+// thread in the direct kernel's ready heap.
 func recomputeBoost(th *Thread) {
 	boost := th.prio
 	for _, m := range th.held {
@@ -53,6 +54,9 @@ func recomputeBoost(th *Thread) {
 		return
 	}
 	th.boost = boost
+	if th.ex.kind == DirectKernel && th.heapIdx >= 0 {
+		th.ex.ready.fix(th.heapIdx)
+	}
 	if th.waitingOn != nil && th.waitingOn.owner != nil {
 		recomputeBoost(th.waitingOn.owner)
 	}
@@ -75,8 +79,7 @@ func (tc *TC) Lock(m *Mutex) {
 		recomputeBoost(m.owner)
 	}
 	// Suspend until Unlock hands us the lock.
-	th.ex.reqCh <- request{th: th, kind: reqWait}
-	tc.block()
+	tc.kernelCall(request{th: th, kind: reqWait})
 	th.waitingOn = nil
 }
 

@@ -26,12 +26,16 @@ func (tc *TC) Now() rtime.Time { return tc.th.ex.now }
 // name of the handler a server thread is currently serving.
 func (tc *TC) SetLabel(label string) { tc.th.label = label }
 
-// block parks the goroutine until the kernel resumes it.
-func (tc *TC) block() {
-	msg := <-tc.th.resumeCh
-	if msg.kill {
-		panic(killSentinel{})
+// kernelCall submits a kernel request and returns once the scheduler picks
+// this thread to run user code again. On the direct kernel the scheduling
+// happens inline in this goroutine (often without parking at all); on the
+// channel kernel it is a rendezvous with the central kernel loop.
+func (tc *TC) kernelCall(req request) {
+	if tc.th.ex.kind == ChannelKernel {
+		tc.channelCall(req)
+		return
 	}
+	tc.directCall(req)
 }
 
 // Consume models d units of CPU demand. The thread may be preempted and
@@ -51,8 +55,7 @@ func (tc *TC) Consume(d rtime.Duration) {
 	if d == 0 {
 		return
 	}
-	th.ex.reqCh <- request{th: th, kind: reqConsume, amount: d}
-	tc.block()
+	tc.kernelCall(request{th: th, kind: reqConsume, amount: d})
 	if th.intrDelivered {
 		th.intrDelivered = false
 		panic(aieSentinel{})
@@ -62,8 +65,7 @@ func (tc *TC) Consume(d rtime.Duration) {
 // SleepUntil suspends the thread until instant t (no-op if t is not in the
 // future).
 func (tc *TC) SleepUntil(t rtime.Time) {
-	tc.th.ex.reqCh <- request{th: tc.th, kind: reqSleep, until: t}
-	tc.block()
+	tc.kernelCall(request{th: tc.th, kind: reqSleep, until: t})
 }
 
 // Sleep suspends the thread for duration d.
@@ -71,8 +73,7 @@ func (tc *TC) Sleep(d rtime.Duration) { tc.SleepUntil(tc.Now().Add(d)) }
 
 // Wait blocks the thread on q until another thread notifies it.
 func (tc *TC) Wait(q *WaitQueue) {
-	tc.th.ex.reqCh <- request{th: tc.th, kind: reqWait, queue: q}
-	tc.block()
+	tc.kernelCall(request{th: tc.th, kind: reqWait, queue: q})
 }
 
 // NotifyOne wakes the longest-waiting thread on q, if any.

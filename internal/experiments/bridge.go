@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"rtsj/internal/core"
+	"rtsj/internal/exec"
 	"rtsj/internal/gen"
 	"rtsj/internal/metrics"
 	"rtsj/internal/rtime"
@@ -35,6 +36,11 @@ type ExecModel struct {
 	// NoiseSeed and SysIndex derive the deterministic per-event u.
 	NoiseSeed int64
 	SysIndex  int
+	// Kernel selects the executive implementation the VM runs on. The zero
+	// value is exec.DirectKernel (the fast channel-free executive); the
+	// kernel differential tests set exec.ChannelKernel to re-run Tables 3/5
+	// workloads on the reference implementation.
+	Kernel exec.Kernel
 }
 
 // DefaultExecModel is the calibrated execution platform used for Tables 3
@@ -87,7 +93,7 @@ func RunExecution(sys sim.System, m ExecModel, horizon rtime.Time) (*ExecOutcome
 	if sys.Server == nil {
 		return nil, fmt.Errorf("experiments: execution needs a task server")
 	}
-	vm := rtsjvm.NewVM(nil, m.Overheads)
+	vm := rtsjvm.NewVMKernel(nil, m.Overheads, m.Kernel)
 	spec := *sys.Server
 	name := spec.Name
 	params := core.NewTaskServerParameters(0, spec.Capacity, spec.Period)

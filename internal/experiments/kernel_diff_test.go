@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"testing"
+
+	"rtsj/internal/exec"
+	"rtsj/internal/gen"
+	"rtsj/internal/sim"
+)
+
+// The execution tables (3 and 5) must not depend on which executive kernel
+// realizes the framework: the direct (channel-free) kernel and the channel
+// reference kernel must produce identical per-event records — and therefore
+// byte-identical table output — over the paper's generated system sets.
+func TestExecutionTablesKernelIndependent(t *testing.T) {
+	for _, cfg := range []struct {
+		key    string
+		policy sim.ServerPolicy
+	}{
+		{"(2, 2)", sim.LimitedPollingServer},
+		{"(1, 0)", sim.LimitedDeferrableServer},
+	} {
+		cfg := cfg
+		t.Run(cfg.key+"/"+cfg.policy.String(), func(t *testing.T) {
+			p := GenParams(cfg.key)
+			systems := gen.Generate(p)
+			if len(systems) > 3 {
+				systems = systems[:3] // three systems per set keep the test fast
+			}
+			model := DefaultExecModel()
+			for i, base := range systems {
+				sys := gen.WithServer(base, p, cfg.policy, 100)
+				model.SysIndex = i
+
+				direct := model
+				direct.Kernel = exec.DirectKernel
+				channel := model
+				channel.Kernel = exec.ChannelKernel
+
+				do, err := RunExecution(sys, direct, p.Horizon())
+				if err != nil {
+					t.Fatal(err)
+				}
+				co, err := RunExecution(sys, channel, p.Horizon())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(do.Records) == 0 {
+					t.Fatalf("system %d: no event records; workload is empty", i)
+				}
+				if len(do.Records) != len(co.Records) {
+					t.Fatalf("system %d: record counts differ: direct=%d channel=%d",
+						i, len(do.Records), len(co.Records))
+				}
+				for k := range do.Records {
+					d, c := do.Records[k], co.Records[k]
+					if *d != *c {
+						t.Fatalf("system %d record %d differs:\ndirect:  %+v\nchannel: %+v", i, k, *d, *c)
+					}
+				}
+				a, b := co.Trace, do.Trace
+				if len(a.Segments) != len(b.Segments) {
+					t.Fatalf("system %d: segment counts differ: channel=%d direct=%d",
+						i, len(a.Segments), len(b.Segments))
+				}
+				for k := range a.Segments {
+					if a.Segments[k] != b.Segments[k] {
+						t.Fatalf("system %d segment %d differs: channel=%+v direct=%+v",
+							i, k, a.Segments[k], b.Segments[k])
+					}
+				}
+			}
+		})
+	}
+}

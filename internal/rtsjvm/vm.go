@@ -73,10 +73,18 @@ type VM struct {
 }
 
 // NewVM creates a VM tracing into tr (may be nil) with the given overhead
-// model. The timer daemon thread is created immediately.
+// model, on the executive's default (direct, channel-free) kernel. The
+// timer daemon thread is created immediately.
 func NewVM(tr *trace.Trace, oh Overheads) *VM {
+	return NewVMKernel(tr, oh, exec.DirectKernel)
+}
+
+// NewVMKernel creates a VM on an explicitly chosen executive kernel. Both
+// kernels are contractually schedule-identical; the differential kernel
+// tests run the same workloads through each and compare traces.
+func NewVMKernel(tr *trace.Trace, oh Overheads, kind exec.Kernel) *VM {
 	vm := &VM{
-		ex:      exec.New(tr),
+		ex:      exec.NewKernel(tr, kind),
 		oh:      oh,
 		daemonQ: exec.NewWaitQueue("timerd"),
 		sched:   NewPriorityScheduler(),
