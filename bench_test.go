@@ -306,6 +306,30 @@ func BenchmarkExecThroughput(b *testing.B) {
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 }
 
+// BenchmarkExecLargeN runs the large-N stress scenario — 10k one-shot
+// sporadic job threads plus periodic background load — on the pooled
+// executive (MaxGoroutines bounds the OS-level goroutine count by the
+// preemption depth, not the thread count). This is the workload the pool
+// opens up: per-thread goroutine mode pays a spawn+park per job, the pool
+// recycles a handful of workers.
+func BenchmarkExecLargeN(b *testing.B) {
+	p := experiments.DefaultStressParams()
+	b.ReportAllocs()
+	var res *experiments.StressResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunStress(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed != p.Jobs {
+			b.Fatalf("completed %d of %d jobs", res.Completed, p.Jobs)
+		}
+	}
+	b.ReportMetric(float64(p.Jobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+	b.ReportMetric(float64(res.PeakWorkers), "peak-workers")
+}
+
 // BenchmarkExecContextSwitch measures the raw cost of one executive
 // preemption round trip (kernel -> thread -> kernel).
 func BenchmarkExecContextSwitch(b *testing.B) {

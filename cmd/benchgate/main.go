@@ -8,7 +8,9 @@
 // verbatim `go test -bench` text: extract it with `jq -r .raw` and feed it
 // straight to benchstat), and fails — exit code 1 — when any benchmark's
 // minimum ns/op regressed more than -threshold versus the committed baseline
-// in bench/baseline.json.
+// in bench/baseline.json, or when a baseline benchmark is missing from the
+// run entirely (renamed, deleted, or failed to list): losing a benchmark
+// silently would quietly shrink the gate's coverage.
 //
 // Refresh the baseline after an intentional performance change:
 //
@@ -126,19 +128,27 @@ func main() {
 	// A minimum can still be inflated when an interference burst covers a
 	// whole benchmark's samples, so contested benchmarks are re-measured
 	// (their minima merged) before the verdict: a real regression survives
-	// the retries, a noisy-neighbour spike does not.
+	// the retries, a noisy-neighbour spike does not. Benchmarks present in
+	// the baseline but absent from the run are contested too — a transient
+	// `go test -list` hiccup recovers on retry; a renamed or deleted
+	// benchmark stays missing and fails the gate with an explicit verdict.
 	for retry := 0; retry < *retries; retry++ {
 		contested := regressions(base, snap, *threshold)
+		contested = append(contested, missingFromRun(base, snap)...)
 		if len(contested) == 0 || *input != "" {
 			break
 		}
 		fmt.Printf("benchgate: re-measuring %d contested benchmark(s), retry %d\n", len(contested), retry+1)
 		again, err := collect("^("+strings.Join(contested, "|")+")$", *benchtime, *count, *pkg, "")
 		if err != nil {
-			fatal(err)
+			// Every contested benchmark may be gone from the package (the
+			// rename/delete case): nothing to re-measure, let the gate
+			// report the missing verdict.
+			fmt.Printf("benchgate: re-measure found nothing to run (%v)\n", err)
+			break
 		}
 		for name, ns := range again.NsPerOp {
-			if ns < snap.NsPerOp[name] {
+			if old, ok := snap.NsPerOp[name]; !ok || ns < old {
 				snap.NsPerOp[name] = ns
 			}
 		}
@@ -152,16 +162,68 @@ func main() {
 	}
 }
 
+// missingFromRun returns the baseline benchmarks the current run did not
+// measure at all. Without this check a renamed, deleted, or list-failed
+// benchmark would drop out of the comparison silently — the gate would
+// pass while losing coverage.
+func missingFromRun(base, cur *Snapshot) []string {
+	var out []string
+	for name := range base.NsPerOp {
+		if _, ok := cur.NsPerOp[name]; !ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+var calibrationWarned bool
+
+// warnOneSidedCalibration prints an explicit warning (once) when only one
+// snapshot carries a spin calibration: the gate then compares raw ns/op,
+// which is meaningless across machines of different speed.
+func warnOneSidedCalibration(base, cur *Snapshot) {
+	if (base.SpinNs > 0) == (cur.SpinNs > 0) || calibrationWarned {
+		return
+	}
+	calibrationWarned = true
+	side, other := "baseline", "current run"
+	if base.SpinNs <= 0 {
+		side, other = "current run", "baseline"
+	}
+	fmt.Printf("benchgate: WARNING: spin calibration present only in the %s (missing from the %s); "+
+		"comparing raw ns/op, which does not transfer across machines of different speed — "+
+		"refresh the baseline with `go run ./cmd/benchgate -update` on the gating hardware\n",
+		side, other)
+}
+
+// speedScale returns the machine-speed normalization factor: a machine
+// that takes k times longer on the spin workload is expected to take k
+// times longer on every benchmark, so the baseline ns/op is scaled by
+// cur/base before comparing. Both regressions (the retry filter) and gate
+// (the verdict) MUST use this one definition, or a benchmark could be
+// retried as contested yet pass the gate (or vice versa).
+func speedScale(base, cur *Snapshot) float64 {
+	if base.SpinNs > 0 && cur.SpinNs > 0 {
+		return cur.SpinNs / base.SpinNs
+	}
+	warnOneSidedCalibration(base, cur)
+	return 1.0
+}
+
+// normalizedDelta returns the benchmark's relative regression versus the
+// speed-scaled baseline (0 = on par, 0.2 = 20% slower than expected).
+func normalizedDelta(old, now, scale float64) float64 {
+	return now/(old*scale) - 1
+}
+
 // regressions returns the benchmarks whose current minimum exceeds the
 // (speed-normalized) baseline by more than threshold.
 func regressions(base, cur *Snapshot, threshold float64) []string {
-	scale := 1.0
-	if base.SpinNs > 0 && cur.SpinNs > 0 {
-		scale = base.SpinNs / cur.SpinNs
-	}
+	scale := speedScale(base, cur)
 	var out []string
 	for name, now := range cur.NsPerOp {
-		if old, ok := base.NsPerOp[name]; ok && old > 0 && now/(old*scale)-1 > threshold {
+		if old, ok := base.NsPerOp[name]; ok && old > 0 && normalizedDelta(old, now, scale) > threshold {
 			out = append(out, name)
 		}
 	}
@@ -243,9 +305,8 @@ func collect(bench, benchtime string, count int, pkg, input string) (*Snapshot, 
 // as multiples of each machine's spin time, cancelling raw CPU-speed
 // differences between the baseline machine and the gating machine.
 func gate(base, cur *Snapshot, threshold float64) (failed bool) {
-	scale := 1.0
-	if base.SpinNs > 0 && cur.SpinNs > 0 {
-		scale = base.SpinNs / cur.SpinNs
+	scale := speedScale(base, cur)
+	if scale != 1.0 || (base.SpinNs > 0 && cur.SpinNs > 0) {
 		fmt.Printf("benchgate: calibration %0.f -> %0.f spin-ns; comparing speed-normalized ratios (x%.3f)\n",
 			base.SpinNs, cur.SpinNs, scale)
 	}
@@ -261,7 +322,7 @@ func gate(base, cur *Snapshot, threshold float64) (failed bool) {
 			fmt.Printf("  new   %-40s %12.0f ns/op (no baseline entry)\n", name, now)
 			continue
 		}
-		delta := now/(old*scale) - 1
+		delta := normalizedDelta(old, now, scale)
 		mark := "ok   "
 		if delta > threshold {
 			mark = "FAIL "
@@ -269,11 +330,10 @@ func gate(base, cur *Snapshot, threshold float64) (failed bool) {
 		}
 		fmt.Printf("  %s %-40s %12.0f -> %12.0f ns/op  (%+.1f%%)\n", mark, name, old, now, 100*delta)
 	}
-	for name := range base.NsPerOp {
-		if _, ok := cur.NsPerOp[name]; !ok {
-			fmt.Printf("  gone  %-40s (in baseline, not measured — tighten -bench?)\n", name)
-			failed = true
-		}
+	for _, name := range missingFromRun(base, cur) {
+		fmt.Printf("  MISSING from run %-29s (in baseline %12.0f ns/op; renamed, deleted, or failed to list — refresh the baseline if intentional)\n",
+			name, base.NsPerOp[name])
+		failed = true
 	}
 	if failed {
 		fmt.Printf("benchgate: FAIL — regression beyond %.0f%% vs baseline (%s, %s/%s)\n",

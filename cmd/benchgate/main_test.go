@@ -1,0 +1,52 @@
+package main
+
+import "testing"
+
+func snap(spin float64, ns map[string]float64) *Snapshot {
+	return &Snapshot{SpinNs: spin, NsPerOp: ns}
+}
+
+func TestMissingFromRunFailsGate(t *testing.T) {
+	base := snap(100, map[string]float64{"BenchmarkA": 50, "BenchmarkB": 70})
+	cur := snap(100, map[string]float64{"BenchmarkA": 50})
+	if got := missingFromRun(base, cur); len(got) != 1 || got[0] != "BenchmarkB" {
+		t.Fatalf("missingFromRun = %v, want [BenchmarkB]", got)
+	}
+	if !gate(base, cur, 0.15) {
+		t.Fatal("a baseline benchmark missing from the run must fail the gate")
+	}
+	// With the benchmark present and within threshold, the gate passes.
+	cur.NsPerOp["BenchmarkB"] = 75
+	if gate(base, cur, 0.15) {
+		t.Fatal("gate failed although every baseline benchmark is within threshold")
+	}
+}
+
+func TestRegressionsSpeedNormalized(t *testing.T) {
+	// The gating machine is 2x slower (spin takes twice as long): raw
+	// ns/op doubling is NOT a regression once normalized.
+	base := snap(100, map[string]float64{"BenchmarkA": 50})
+	cur := snap(200, map[string]float64{"BenchmarkA": 100})
+	if got := regressions(base, cur, 0.15); len(got) != 0 {
+		t.Fatalf("regressions = %v, want none (speed-normalized)", got)
+	}
+	cur.NsPerOp["BenchmarkA"] = 130
+	if got := regressions(base, cur, 0.15); len(got) != 1 {
+		t.Fatalf("regressions = %v, want [BenchmarkA]", got)
+	}
+}
+
+func TestOneSidedCalibrationComparesRaw(t *testing.T) {
+	// Calibration on only one side: the scale stays 1 (raw comparison)
+	// and the warning path runs; the regression verdict is then on raw
+	// ns/op.
+	calibrationWarned = false
+	base := snap(0, map[string]float64{"BenchmarkA": 50})
+	cur := snap(200, map[string]float64{"BenchmarkA": 100})
+	if got := regressions(base, cur, 0.15); len(got) != 1 || got[0] != "BenchmarkA" {
+		t.Fatalf("regressions = %v, want [BenchmarkA] (raw comparison)", got)
+	}
+	if !calibrationWarned {
+		t.Fatal("one-sided calibration must warn")
+	}
+}

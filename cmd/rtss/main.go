@@ -9,10 +9,13 @@
 //
 // Reads the system from the file (or stdin) in the internal/spec format.
 // With -exec, the workload is additionally executed on the Task Server
-// Framework (RTSJ emulation) and both outcomes are shown.
+// Framework (RTSJ emulation) and both outcomes are shown. With -quiet (and
+// no -csv/-json) both engines run entirely trace-free: the simulator and
+// the virtual-time executive skip every segment append and label format.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -27,30 +30,45 @@ import (
 )
 
 func main() {
-	file := flag.String("f", "", "system description file (default: stdin)")
-	execToo := flag.Bool("exec", false, "also execute on the Task Server Framework")
-	scale := flag.String("scale", "1tu", "gantt column width")
-	quiet := flag.Bool("quiet", false, "suppress the gantt chart, print metrics only")
-	csvOut := flag.String("csv", "", "write the simulation trace as CSV to this file")
-	jsonOut := flag.String("json", "", "write the simulation trace as JSON to this file")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "rtss: %v\n", err)
+		os.Exit(1)
+	}
+}
 
-	var in io.Reader = os.Stdin
+// run is the whole command, factored out of main so the golden-file test
+// can drive it end to end (flags through serialized trace exports).
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("rtss", flag.ContinueOnError)
+	file := fs.String("f", "", "system description file (default: stdin)")
+	execToo := fs.Bool("exec", false, "also execute on the Task Server Framework")
+	scale := fs.String("scale", "1tu", "gantt column width")
+	quiet := fs.Bool("quiet", false, "suppress the gantt chart, print metrics only")
+	csvOut := fs.String("csv", "", "write the simulation trace as CSV to this file")
+	jsonOut := fs.String("json", "", "write the simulation trace as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage already printed, exit 0
+		}
+		return err
+	}
+
+	var in io.Reader = stdin
 	if *file != "" {
 		f, err := os.Open(*file)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		in = f
 	}
 	parsed, err := spec.Parse(in)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	colw, err := rtime.ParseDuration(*scale)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	opts := trace.GanttOptions{Scale: colw, Until: parsed.Horizon}
 
@@ -72,51 +90,57 @@ func main() {
 	}
 	result, err := sim.Run(parsed.System, d, parsed.Horizon, tr)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("== RTSS simulation (%s) ==\n", d.Name())
+	fmt.Fprintf(stdout, "== RTSS simulation (%s) ==\n", d.Name())
 	if !*quiet {
-		fmt.Println(tr.Gantt(opts))
+		fmt.Fprintln(stdout, tr.Gantt(opts))
 	}
-	printMetrics(metrics.FromSimResult(result), result.PeriodicMisses)
+	printMetrics(stdout, metrics.FromSimResult(result), result.PeriodicMisses)
 
 	if *csvOut != "" {
 		if err := writeTrace(*csvOut, tr.WriteCSV); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if *jsonOut != "" {
 		if err := writeTrace(*jsonOut, tr.WriteJSON); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
 	if *execToo {
 		if parsed.Policy != spec.FP || parsed.System.Server == nil {
-			fatal(fmt.Errorf("-exec needs an FP system with a ps/ds server"))
+			return fmt.Errorf("-exec needs an FP system with a ps/ds server")
 		}
-		o, err := experiments.RunExecution(parsed.System, experiments.DefaultExecModel(), parsed.Horizon)
+		// Quiet executions run on the executive's trace-free fast path.
+		runExec := experiments.RunExecution
+		if *quiet {
+			runExec = experiments.RunExecutionMetrics
+		}
+		o, err := runExec(parsed.System, experiments.DefaultExecModel(), parsed.Horizon)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println("== Task Server Framework execution ==")
+		fmt.Fprintln(stdout, "== Task Server Framework execution ==")
 		if !*quiet {
-			fmt.Println(o.Trace.Gantt(opts))
+			fmt.Fprintln(stdout, o.Trace.Gantt(opts))
 		}
-		printMetrics(metrics.FromRecords(o.Records), 0)
+		printMetrics(stdout, metrics.FromRecords(o.Records), 0)
 	}
+	return nil
 }
 
-func printMetrics(evs []metrics.Event, misses int) {
+func printMetrics(w io.Writer, evs []metrics.Event, misses int) {
 	s := metrics.Summarize(evs)
-	fmt.Printf("aperiodics: %d total, %d served, %d interrupted\n", s.Total, s.Served, s.Interrupted)
+	fmt.Fprintf(w, "aperiodics: %d total, %d served, %d interrupted\n", s.Total, s.Served, s.Interrupted)
 	if s.Served > 0 {
-		fmt.Printf("avg response %.2ftu, max %.2ftu\n", s.AvgResponse, s.MaxResponse)
+		fmt.Fprintf(w, "avg response %.2ftu, max %.2ftu\n", s.AvgResponse, s.MaxResponse)
 	}
 	if misses > 0 {
-		fmt.Printf("PERIODIC DEADLINE MISSES: %d\n", misses)
+		fmt.Fprintf(w, "PERIODIC DEADLINE MISSES: %d\n", misses)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
 func writeTrace(path string, write func(io.Writer) error) error {
@@ -129,9 +153,4 @@ func writeTrace(path string, write func(io.Writer) error) error {
 		return err
 	}
 	return f.Close()
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "rtss: %v\n", err)
-	os.Exit(1)
 }

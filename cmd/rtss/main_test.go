@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from this run")
+
+// TestGoldenTraceExport pins the rtss command's observable output — stdout
+// (Gantt + metrics) and the CSV/JSON trace exports — byte for byte, so
+// refactors of the trace sink plumbing cannot silently change serialized
+// output. Refresh after an intentional format change:
+//
+//	go test ./cmd/rtss -run TestGoldenTraceExport -update
+func TestGoldenTraceExport(t *testing.T) {
+	tmp := t.TempDir()
+	csvPath := filepath.Join(tmp, "out.csv")
+	jsonPath := filepath.Join(tmp, "out.json")
+
+	var stdout bytes.Buffer
+	err := run([]string{
+		"-f", "testdata/golden.rtss",
+		"-csv", csvPath,
+		"-json", jsonPath,
+	}, strings.NewReader(""), &stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, g := range []struct {
+		golden string
+		got    []byte
+	}{
+		{"testdata/golden.stdout", stdout.Bytes()},
+		{"testdata/golden.csv", mustRead(t, csvPath)},
+		{"testdata/golden.json", mustRead(t, jsonPath)},
+	} {
+		if *update {
+			if err := os.WriteFile(g.golden, g.got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(g.golden)
+		if err != nil {
+			t.Fatalf("%v (run with -update to create the golden files)", err)
+		}
+		if !bytes.Equal(g.got, want) {
+			t.Errorf("%s differs from golden output:\n--- got ---\n%s\n--- want ---\n%s",
+				g.golden, g.got, want)
+		}
+	}
+}
+
+// TestQuietMetricsMatchTraced pins the nil-trace fast path: -quiet (no
+// exports) must print exactly the metrics lines of the traced run, for both
+// the simulation and the framework execution.
+func TestQuietMetricsMatchTraced(t *testing.T) {
+	var traced, quiet bytes.Buffer
+	if err := run([]string{"-f", "testdata/golden.rtss", "-exec"}, strings.NewReader(""), &traced); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-f", "testdata/golden.rtss", "-exec", "-quiet"}, strings.NewReader(""), &quiet); err != nil {
+		t.Fatal(err)
+	}
+	// The quiet output must be a subsequence of the traced one: same
+	// headers and metrics lines, minus the Gantt charts.
+	tracedLines := map[string]bool{}
+	for _, line := range strings.Split(traced.String(), "\n") {
+		tracedLines[line] = true
+	}
+	for _, line := range strings.Split(quiet.String(), "\n") {
+		if line != "" && !tracedLines[line] {
+			t.Errorf("quiet line %q absent from traced output", line)
+		}
+	}
+	if quiet.Len() >= traced.Len() {
+		t.Error("quiet output should be strictly smaller (no Gantt charts)")
+	}
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

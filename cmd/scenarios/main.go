@@ -19,6 +19,10 @@ func main() {
 	ideal := flag.Bool("ideal", true, "also show the ideal (literature) polling server schedule")
 	workers := flag.Int("workers", 0, "harness worker pool size (0: $RTSJ_WORKERS or GOMAXPROCS)")
 	flag.Parse()
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "scenarios: -workers must be >= 0 (got %d)\n", *workers)
+		os.Exit(2)
+	}
 	harness.SetWorkers(*workers)
 
 	nums := []int{1, 2, 3}

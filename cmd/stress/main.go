@@ -1,0 +1,91 @@
+// Command stress runs the large-N stress scenario: thousands to tens of
+// thousands of one-shot sporadic job threads plus periodic background load
+// on the virtual-time executive, exercising the pooled thread-body mode
+// (exec.Options.MaxGoroutines) that bounds the OS-level goroutine count by
+// the preemption depth instead of the thread count.
+//
+// Usage:
+//
+//	stress [-n 10000] [-maxgoroutines 64] [-kernel direct|channel]
+//	       [-background 4] [-bands 6] [-seed 2007] [-quiet]
+//
+// With -maxgoroutines 0 the executive falls back to one goroutine per
+// thread (the default outside this command), which is useful to compare
+// footprints; the schedule is identical either way.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"rtsj/internal/exec"
+	"rtsj/internal/experiments"
+)
+
+func main() {
+	def := experiments.DefaultStressParams()
+	n := flag.Int("n", def.Jobs, "number of one-shot sporadic job threads")
+	maxg := flag.Int("maxgoroutines", def.MaxGoroutines, "pool size; 0 = one goroutine per thread")
+	kernel := flag.String("kernel", "direct", "executive kernel: direct or channel")
+	background := flag.Int("background", def.Background, "periodic background threads")
+	bands := flag.Int("bands", def.PriorityBands, "priority bands for the sporadic jobs")
+	seed := flag.Uint64("seed", def.Seed, "scenario seed")
+	quiet := flag.Bool("quiet", false, "print only the summary line")
+	flag.Parse()
+
+	if *n <= 0 || *background < 0 || *bands <= 0 || *maxg < 0 {
+		fatal(fmt.Errorf("-n and -bands must be positive; -background and -maxgoroutines must be >= 0"))
+	}
+	p := experiments.StressParams{
+		Jobs:          *n,
+		Background:    *background,
+		PriorityBands: *bands,
+		Seed:          *seed,
+		MaxGoroutines: *maxg,
+	}
+	switch *kernel {
+	case "direct":
+		p.Kernel = exec.DirectKernel
+	case "channel":
+		p.Kernel = exec.ChannelKernel
+	default:
+		fatal(fmt.Errorf("unknown kernel %q (want direct or channel)", *kernel))
+	}
+
+	goroutinesBefore := runtime.NumGoroutine()
+	start := time.Now()
+	res, err := experiments.RunStress(p)
+	elapsed := time.Since(start)
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		fmt.Printf("scenario : %d jobs over %d bands, %d background threads, seed %d\n",
+			res.Jobs, *bands, *background, *seed)
+		fmt.Printf("executive: %s kernel, maxgoroutines=%d\n", p.Kernel, p.MaxGoroutines)
+		fmt.Printf("completed: %d/%d jobs, %d background activations\n",
+			res.Completed, res.Jobs, res.BackgroundRun)
+		fmt.Printf("virtual  : consumed %v, finished at %v of %v horizon\n",
+			res.TotalConsumed, res.FinalTime, res.Horizon)
+		fmt.Printf("pool     : peak %d workers (goroutines before run: %d)\n",
+			res.PeakWorkers, goroutinesBefore)
+		fmt.Printf("wall     : %v (%.0f jobs/s)\n", elapsed.Round(time.Millisecond),
+			float64(res.Completed)/elapsed.Seconds())
+	}
+	fmt.Printf("stress: %d jobs, kernel=%s maxgoroutines=%d peak-workers=%d fingerprint=%016x wall=%v\n",
+		res.Completed, p.Kernel, p.MaxGoroutines, res.PeakWorkers, res.Fingerprint,
+		elapsed.Round(time.Millisecond))
+	if res.Completed != res.Jobs {
+		// The CI stress smoke relies on this: stranded jobs are a
+		// scheduling bug, not a soft statistic.
+		fatal(fmt.Errorf("only %d of %d jobs completed", res.Completed, res.Jobs))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "stress: %v\n", err)
+	os.Exit(1)
+}

@@ -22,6 +22,10 @@ func main() {
 	matrix := flag.Bool("matrix", false, "also run the extension experiment: every policy on every set")
 	workers := flag.Int("workers", 0, "harness worker pool size (0: $RTSJ_WORKERS or GOMAXPROCS)")
 	flag.Parse()
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "tables: -workers must be >= 0 (got %d)\n", *workers)
+		os.Exit(2)
+	}
 	harness.SetWorkers(*workers)
 
 	ids := experiments.TableIDs

@@ -30,6 +30,17 @@
 //     (unchanged except one deliberate fix noted in kernel_channel.go:
 //     cancelled timers never fire); differential tests assert both kernels
 //     produce trace-for-trace identical schedules.
+//
+// The executive records into a trace.Sink. Passing *trace.Trace accumulates
+// a full schedule recording; passing nil (or trace.Nop) records nothing —
+// the metrics-only fast path used by the table experiments, which skips the
+// per-slice segment append entirely.
+//
+// Orthogonally to the kernel choice, Options.MaxGoroutines multiplexes
+// thread bodies over a bounded pool of worker goroutines (pool.go) instead
+// of dedicating one goroutine per thread, so a system with tens of
+// thousands of mostly run-to-completion threads needs only a handful of
+// OS-level goroutines. Scheduling decisions are identical in both modes.
 package exec
 
 import (
@@ -57,6 +68,26 @@ func (k Kernel) String() string {
 		return "channel"
 	}
 	return "direct"
+}
+
+// Options configures an executive beyond the sink it records into.
+type Options struct {
+	// Kernel selects the scheduling implementation (default DirectKernel).
+	Kernel Kernel
+	// MaxGoroutines, when positive, multiplexes thread bodies over a
+	// bounded pool of worker goroutines instead of one goroutine per
+	// thread: a thread's goroutine is materialized lazily the first time
+	// the scheduler runs it, and when its body returns the worker is
+	// recycled for other bodies. MaxGoroutines is the pool's resident
+	// size: workers beyond it retire as soon as their body finishes. The
+	// pool can transiently exceed the cap when more than MaxGoroutines
+	// bodies are suspended mid-execution at once (each suspended body pins
+	// its worker's stack) — the bound that holds is the peak number of
+	// concurrently in-progress bodies, which for run-to-completion
+	// workloads is tiny regardless of the thread count. Zero (the default)
+	// keeps the goroutine-per-thread mode. Scheduling is identical either
+	// way, enforced by the kernel differential tests.
+	MaxGoroutines int
 }
 
 type threadState int
@@ -118,6 +149,13 @@ type Thread struct {
 	scheduled bool
 	killed    bool
 	heapIdx   int // position in the ready heap, -1 when not enqueued
+
+	// Pooled mode: whether the body has been handed to a worker yet (a
+	// thread that never starts never costs a goroutine), and the worker's
+	// post-body fate as decided by bodyFinished.
+	started     bool
+	poolRetire  bool
+	poolCounted bool
 
 	// Consume state.
 	needCPU  rtime.Duration
@@ -189,7 +227,12 @@ type Exec struct {
 	kind    Kernel
 	now     rtime.Time
 	threads []*Thread
-	tr      *trace.Trace
+	sink    trace.Sink   // never nil; trace.Nop when nothing records
+	tr      *trace.Trace // the sink when it is a *trace.Trace, else nil
+
+	// Pooled mode (Options.MaxGoroutines > 0): the shared worker pool.
+	pooled bool
+	pool   workerPool
 
 	// ChannelKernel state: pending timers (linear) and the request channel.
 	timers []*timerEv
@@ -217,23 +260,40 @@ type Exec struct {
 	errs     []error
 }
 
-// New returns an executive tracing into tr (may be nil), on the default
-// direct (channel-free) kernel.
-func New(tr *trace.Trace) *Exec { return NewKernel(tr, DirectKernel) }
+// New returns an executive recording into sink, on the default direct
+// (channel-free) kernel. A nil sink records nothing — the metrics-only fast
+// path (same contract as the sim engine); pass trace.New() to keep a full
+// schedule recording.
+func New(sink trace.Sink) *Exec { return NewWithOptions(sink, Options{}) }
 
 // NewKernel returns an executive on an explicitly chosen kernel. Both
 // kernels implement the same deterministic scheduling contract; the choice
 // only affects how goroutine handoffs are realized.
-func NewKernel(tr *trace.Trace, kind Kernel) *Exec {
-	if tr == nil {
-		tr = trace.New()
+func NewKernel(sink trace.Sink, kind Kernel) *Exec {
+	return NewWithOptions(sink, Options{Kernel: kind})
+}
+
+// NewWithOptions returns a fully configured executive. A nil sink (or a nil
+// *trace.Trace inside the interface) is normalized to trace.Nop.
+func NewWithOptions(sink trace.Sink, opts Options) *Exec {
+	if tr, ok := sink.(*trace.Trace); ok && tr == nil {
+		sink = nil
 	}
-	ex := &Exec{kind: kind, tr: tr}
-	if kind == ChannelKernel {
+	if sink == nil {
+		sink = trace.Nop{}
+	}
+	ex := &Exec{kind: opts.Kernel, sink: sink, pooled: opts.MaxGoroutines > 0}
+	ex.tr, _ = sink.(*trace.Trace)
+	if opts.Kernel == ChannelKernel {
 		ex.reqCh = make(chan request)
-	} else {
-		ex.main.L = &ex.mu
-		ex.reap.L = &ex.mu
+	}
+	// The direct kernel parks on these; the channel kernel never touches
+	// them, but initializing unconditionally keeps the zero-value checks
+	// out of the hot path.
+	ex.main.L = &ex.mu
+	ex.reap.L = &ex.mu
+	if ex.pooled {
+		ex.pool.init(opts.MaxGoroutines)
 	}
 	return ex
 }
@@ -241,11 +301,32 @@ func NewKernel(tr *trace.Trace, kind Kernel) *Exec {
 // KernelKind returns the kernel this executive runs on.
 func (ex *Exec) KernelKind() Kernel { return ex.kind }
 
-// Trace returns the execution trace.
+// Pooled reports whether thread bodies are multiplexed over the worker
+// pool (Options.MaxGoroutines > 0).
+func (ex *Exec) Pooled() bool { return ex.pooled }
+
+// PoolPeak returns the peak number of pool worker goroutines that have
+// existed simultaneously (0 in goroutine-per-thread mode).
+func (ex *Exec) PoolPeak() int { return ex.pool.peakWorkers() }
+
+// Sink returns the sink this executive records into (never nil).
+func (ex *Exec) Sink() trace.Sink { return ex.sink }
+
+// Trace returns the execution trace when the executive records into a
+// *trace.Trace, and nil on the metrics-only fast path.
 func (ex *Exec) Trace() *trace.Trace { return ex.tr }
 
 // Now returns the current virtual time. Safe to call from thread bodies.
 func (ex *Exec) Now() rtime.Time { return ex.now }
+
+// Threads returns every spawned thread, in spawn order. Call only while no
+// Run is in progress (the slice itself is copied, but thread state is owned
+// by the scheduling loop).
+func (ex *Exec) Threads() []*Thread {
+	out := make([]*Thread, len(ex.threads))
+	copy(out, ex.threads)
+	return out
+}
 
 // Spawn creates a thread that becomes ready at startAt. The body runs in its
 // own goroutine but under the executive's scheduling discipline.
@@ -260,13 +341,22 @@ func (ex *Exec) Spawn(name string, prio int, startAt rtime.Time, body func(tc *T
 		body:    body,
 	}
 	ex.threads = append(ex.threads, th)
-	ex.tr.DeclareEntity(name)
+	ex.sink.DeclareEntity(name)
 	if ex.kind == ChannelKernel {
 		th.resumeCh = make(chan resumeMsg)
-		go th.channelRun()
 	} else {
 		th.cond = sync.NewCond(&ex.mu)
-		go th.directRun()
+	}
+	// In pooled mode the body is handed to a pool worker lazily, the first
+	// time the scheduler actually runs the thread (see handoff/runChannel);
+	// threads that never run never cost a goroutine.
+	if !ex.pooled {
+		th.started = true
+		if ex.kind == ChannelKernel {
+			go th.channelRun()
+		} else {
+			go th.directRun()
+		}
 	}
 	if startAt <= ex.now {
 		ex.makeReady(th)
@@ -411,7 +501,7 @@ func (ex *Exec) runSlice(th *Thread, until rtime.Time) {
 		// A timer due exactly now; fire it on the next loop iteration.
 		return
 	}
-	ex.tr.Run(th.name, ex.now, ex.now.Add(delta), th.label)
+	ex.sink.Run(th.name, ex.now, ex.now.Add(delta), th.label)
 	ex.now = ex.now.Add(delta)
 	th.needCPU -= delta
 	th.consumed += delta
@@ -445,9 +535,12 @@ func (ex *Exec) Shutdown() {
 	ex.shutdown = true
 	if ex.kind == ChannelKernel {
 		ex.shutdownChannel()
-		return
+	} else {
+		ex.shutdownDirect()
 	}
-	ex.shutdownDirect()
+	if ex.pooled {
+		ex.pool.close()
+	}
 }
 
 // Errors returns all thread body errors observed.

@@ -15,7 +15,7 @@ func at(v float64) rtime.Time     { return rtime.AtTU(v) }
 
 func runExec(t *testing.T, horizon float64, setup func(ex *Exec)) *trace.Trace {
 	t.Helper()
-	ex := New(nil)
+	ex := New(trace.New())
 	setup(ex)
 	if err := ex.Run(at(horizon)); err != nil {
 		t.Fatal(err)
@@ -294,7 +294,7 @@ func TestShutdownReleasesGoroutines(t *testing.T) {
 
 func TestDeterministicTraces(t *testing.T) {
 	build := func() *trace.Trace {
-		ex := New(nil)
+		ex := New(trace.New())
 		q := NewWaitQueue("q")
 		ex.Spawn("t1", 3, 0, func(tc *TC) {
 			for i := 0; i < 3; i++ {
@@ -379,7 +379,7 @@ func TestSetLabelAppearsInTrace(t *testing.T) {
 func TestExecConservationProperty(t *testing.T) {
 	rng := newDetRand(99)
 	for trial := 0; trial < 50; trial++ {
-		ex := New(nil)
+		ex := New(trace.New())
 		type spec struct {
 			th    *Thread
 			total rtime.Duration

@@ -20,13 +20,25 @@ import (
 // by an earlier timer fn due at the same instant never fires (the seed's
 // batch collection fired it anyway).
 
-// channelRun is the goroutine wrapper around a thread body (ChannelKernel).
+// channelRun is the goroutine wrapper around a thread body (ChannelKernel,
+// goroutine-per-thread mode).
 func (th *Thread) channelRun() {
 	msg := <-th.resumeCh
 	if msg.kill {
 		th.ex.reqCh <- request{th: th, kind: reqTerminate}
 		return
 	}
+	th.channelBody()
+}
+
+// runPooledChannel runs the body on a pool worker (ChannelKernel, pooled
+// mode). The kernel loop just resumed the thread by handing it to the pool,
+// so there is no initial rendezvous on resumeCh.
+func (th *Thread) runPooledChannel() { th.channelBody() }
+
+// channelBody executes the body with the executive's panic discipline and
+// reports termination to the kernel loop.
+func (th *Thread) channelBody() {
 	defer func() {
 		var err error
 		if r := recover(); r != nil {
@@ -34,9 +46,27 @@ func (th *Thread) channelRun() {
 				err = fmt.Errorf("exec: thread %s panicked: %v", th.name, r)
 			}
 		}
+		if th.ex.pooled {
+			// Declare this worker free (or retire it) before the kernel
+			// loop learns of the termination and possibly starts the next
+			// unstarted thread.
+			th.ex.bodyFinished(th)
+		}
 		th.ex.reqCh <- request{th: th, kind: reqTerminate, err: err}
 	}()
 	th.body(&TC{th: th})
+}
+
+// resume lets th execute user code to its next kernel call: waking its
+// parked goroutine, or — first time in pooled mode — handing the body to a
+// pool worker.
+func (ex *Exec) resume(th *Thread) {
+	if !th.started {
+		th.started = true
+		ex.startThread(th)
+		return
+	}
+	th.resumeCh <- resumeMsg{}
 }
 
 // channelCall posts a kernel request and parks until the kernel resumes the
@@ -146,7 +176,7 @@ func (ex *Exec) runChannel(until rtime.Time) error {
 			zeroSteps = 0
 			lastNow = ex.now
 		}
-		th.resumeCh <- resumeMsg{}
+		ex.resume(th)
 		req := <-ex.reqCh
 		ex.apply(req)
 	}
@@ -163,7 +193,7 @@ func (ex *Exec) runChannel(until rtime.Time) error {
 		if th == nil {
 			break
 		}
-		th.resumeCh <- resumeMsg{}
+		ex.resume(th)
 		req := <-ex.reqCh
 		ex.apply(req)
 	}
@@ -177,6 +207,12 @@ func (ex *Exec) runChannel(until rtime.Time) error {
 func (ex *Exec) shutdownChannel() {
 	for _, th := range ex.threads {
 		if th.state == stateDone {
+			continue
+		}
+		if !th.started {
+			// Pooled mode: the body never ran, so there is no goroutine
+			// to unwind.
+			th.state = stateDone
 			continue
 		}
 		th.resumeCh <- resumeMsg{kill: true}

@@ -8,67 +8,83 @@ import (
 	"rtsj/internal/trace"
 )
 
-// Differential kernel tests: every scenario is built identically on the
-// ChannelKernel (the reference implementation) and the DirectKernel (the
-// channel-free rewrite) and must produce trace-for-trace identical
+// Differential kernel tests: every scenario is built identically on every
+// executive configuration — {ChannelKernel, DirectKernel} × {one goroutine
+// per thread, pooled workers} — and must produce trace-for-trace identical
 // schedules — same segments, same preemption points, same virtual
-// timestamps, same point events, same per-thread accounting.
+// timestamps, same point events, same per-thread accounting. The channel
+// kernel in goroutine-per-thread mode is the reference implementation.
 
-// diffRun builds the scenario on both kernels, runs to the horizon and
-// compares everything observable.
+// diffConfigs is the executive configuration matrix under differential
+// test. The small MaxGoroutines forces worker recycling (and transient
+// over-cap growth) inside the scenarios rather than hiding it.
+var diffConfigs = []struct {
+	name string
+	opts Options
+}{
+	{"channel", Options{Kernel: ChannelKernel}},
+	{"direct", Options{Kernel: DirectKernel}},
+	{"channel-pooled", Options{Kernel: ChannelKernel, MaxGoroutines: 2}},
+	{"direct-pooled", Options{Kernel: DirectKernel, MaxGoroutines: 2}},
+}
+
+// diffRun builds the scenario on every configuration, runs to the horizon
+// and compares everything observable against the channel reference.
 func diffRun(t *testing.T, name string, horizon rtime.Time, build func(ex *Exec)) {
 	t.Helper()
-	run := func(kind Kernel) (*Exec, error) {
-		ex := NewKernel(nil, kind)
+	run := func(opts Options) (*Exec, error) {
+		ex := NewWithOptions(trace.New(), opts)
 		build(ex)
 		err := ex.Run(horizon)
 		return ex, err
 	}
-	ch, chErr := run(ChannelKernel)
-	di, diErr := run(DirectKernel)
-	defer ch.Shutdown()
-	defer di.Shutdown()
-	if (chErr == nil) != (diErr == nil) {
-		t.Fatalf("%s: error mismatch: channel=%v direct=%v", name, chErr, diErr)
+	ref, refErr := run(diffConfigs[0].opts)
+	defer ref.Shutdown()
+	for _, cfg := range diffConfigs[1:] {
+		got, gotErr := run(cfg.opts)
+		if (refErr == nil) != (gotErr == nil) {
+			t.Fatalf("%s: error mismatch: channel=%v %s=%v", name, refErr, cfg.name, gotErr)
+		}
+		compareExecs(t, name+"/"+cfg.name, ref, got)
+		got.Shutdown()
 	}
-	compareExecs(t, name, ch, di)
 }
 
-func compareExecs(t *testing.T, name string, ch, di *Exec) {
+func compareExecs(t *testing.T, name string, ref, got *Exec) {
 	t.Helper()
-	if ch.Now() != di.Now() {
-		t.Errorf("%s: final time differs: channel=%v direct=%v", name, ch.Now().TUs(), di.Now().TUs())
+	if ref.Now() != got.Now() {
+		t.Errorf("%s: final time differs: ref=%v got=%v", name, ref.Now().TUs(), got.Now().TUs())
 	}
-	a, b := ch.Trace(), di.Trace()
+	a, b := ref.Trace(), got.Trace()
 	if err := b.CheckSingleCPU(); err != nil {
-		t.Errorf("%s: direct kernel trace invalid: %v", name, err)
+		t.Errorf("%s: trace invalid: %v", name, err)
 	}
 	if len(a.Segments) != len(b.Segments) {
-		t.Errorf("%s: segment counts differ: channel=%d direct=%d\nchannel:\n%s\ndirect:\n%s",
+		t.Errorf("%s: segment counts differ: ref=%d got=%d\nref:\n%s\ngot:\n%s",
 			name, len(a.Segments), len(b.Segments),
 			a.Gantt(trace.GanttOptions{}), b.Gantt(trace.GanttOptions{}))
 		return
 	}
 	for i := range a.Segments {
 		if a.Segments[i] != b.Segments[i] {
-			t.Errorf("%s: segment %d differs: channel=%+v direct=%+v", name, i, a.Segments[i], b.Segments[i])
+			t.Errorf("%s: segment %d differs: ref=%+v got=%+v", name, i, a.Segments[i], b.Segments[i])
 			return
 		}
 	}
 	if len(a.Events) != len(b.Events) {
-		t.Errorf("%s: event counts differ: channel=%d direct=%d", name, len(a.Events), len(b.Events))
+		t.Errorf("%s: event counts differ: ref=%d got=%d", name, len(a.Events), len(b.Events))
 		return
 	}
 	for i := range a.Events {
 		if a.Events[i] != b.Events[i] {
-			t.Errorf("%s: event %d differs: channel=%+v direct=%+v", name, i, a.Events[i], b.Events[i])
+			t.Errorf("%s: event %d differs: ref=%+v got=%+v", name, i, a.Events[i], b.Events[i])
 			return
 		}
 	}
-	for i := range ch.threads {
-		ta, tb := ch.threads[i], di.threads[i]
+	for i := range ref.threads {
+		ta, tb := ref.threads[i], got.threads[i]
 		if ta.Name() != tb.Name() || ta.Consumed() != tb.Consumed() || ta.Done() != tb.Done() {
-			t.Errorf("%s: thread %s accounting differs: channel consumed=%v done=%v, direct consumed=%v done=%v",
+			t.Errorf("%s: thread %s accounting differs: ref consumed=%v done=%v, got consumed=%v done=%v",
 				name, ta.Name(), ta.Consumed(), ta.Done(), tb.Consumed(), tb.Done())
 		}
 	}
@@ -154,21 +170,29 @@ func TestKernelDiffRunContinuation(t *testing.T) {
 		})
 		ex.Spawn("b", 1, 0, func(tc *TC) { tc.Consume(tu(9)) })
 	}
-	ch := NewKernel(nil, ChannelKernel)
-	di := NewKernel(nil, DirectKernel)
-	build(ch)
-	build(di)
-	for _, horizon := range []rtime.Time{at(5), at(11), at(40)} {
-		if err := ch.Run(horizon); err != nil {
-			t.Fatal(err)
-		}
-		if err := di.Run(horizon); err != nil {
-			t.Fatal(err)
-		}
-		compareExecs(t, fmt.Sprintf("continuation@%v", horizon.TUs()), ch, di)
+	ref := NewKernel(trace.New(), ChannelKernel)
+	build(ref)
+	others := make([]*Exec, 0, len(diffConfigs)-1)
+	for _, cfg := range diffConfigs[1:] {
+		ex := NewWithOptions(trace.New(), cfg.opts)
+		build(ex)
+		others = append(others, ex)
 	}
-	ch.Shutdown()
-	di.Shutdown()
+	for _, horizon := range []rtime.Time{at(5), at(11), at(40)} {
+		if err := ref.Run(horizon); err != nil {
+			t.Fatal(err)
+		}
+		for i, ex := range others {
+			if err := ex.Run(horizon); err != nil {
+				t.Fatal(err)
+			}
+			compareExecs(t, fmt.Sprintf("continuation@%v/%s", horizon.TUs(), diffConfigs[i+1].name), ref, ex)
+		}
+	}
+	ref.Shutdown()
+	for _, ex := range others {
+		ex.Shutdown()
+	}
 }
 
 // TestKernelDiffFuzz runs randomized thread/priority workloads through both

@@ -31,12 +31,24 @@ import (
 // The ready queue and timer queue are binary heaps (heap.go) keyed exactly
 // like the channel kernel's linear-scan tie-breaks.
 
-// directRun is the goroutine wrapper around a thread body (DirectKernel).
+// directRun is the goroutine wrapper around a thread body (DirectKernel,
+// goroutine-per-thread mode).
 func (th *Thread) directRun() {
 	if msg := th.park(); msg.kill {
 		th.directFinish(nil)
 		return
 	}
+	th.directBody()
+}
+
+// runPooledDirect runs the body on a pool worker (DirectKernel, pooled
+// mode). The thread was just picked by the scheduler, so unlike directRun
+// there is no initial park: the worker already holds the virtual CPU.
+func (th *Thread) runPooledDirect() { th.directBody() }
+
+// directBody executes the body with the executive's panic discipline and
+// finishes the thread.
+func (th *Thread) directBody() {
 	var err error
 	func() {
 		defer func() {
@@ -68,6 +80,12 @@ func (th *Thread) directFinish(err error) {
 		return
 	}
 	ex.apply(request{th: th, kind: reqTerminate, err: err})
+	if ex.pooled {
+		// Declare this worker free (or retire it) before the token is
+		// handed on, so a successor thread starting right away reuses it
+		// instead of growing the pool.
+		ex.bodyFinished(th)
+	}
 	ex.dispatch(th)
 }
 
@@ -123,14 +141,24 @@ func (ex *Exec) wakeMain() {
 
 // handoff transfers the token from cur (nil for the Run goroutine) to next
 // and parks cur. A terminated cur hands off without parking: its goroutine
-// is about to exit.
+// is about to exit. In pooled mode a thread that has never run is handed to
+// a pool worker instead of woken — it has no goroutine parked yet.
 func (ex *Exec) handoff(cur, next *Thread) resumeMsg {
-	ex.wake(next)
+	// Read our own state while we still hold the token: the instant next
+	// is woken (or handed to a pool worker) it may run kernel code that
+	// writes thread states concurrently with this goroutine's epilogue.
+	curDone := cur != nil && cur.state == stateDone
+	if !next.started {
+		next.started = true
+		ex.startThread(next)
+	} else {
+		ex.wake(next)
+	}
 	if cur == nil {
 		ex.parkMain()
 		return resumeMsg{}
 	}
-	if cur.state == stateDone {
+	if curDone {
 		return resumeMsg{}
 	}
 	return cur.park()
@@ -262,8 +290,9 @@ func (ex *Exec) dispatch(cur *Thread) resumeMsg {
 			if cur == nil {
 				return resumeMsg{} // Run goroutine: runDirect returns
 			}
+			curDone := cur.state == stateDone // read before the token moves
 			ex.wakeMain()
-			if cur.state == stateDone {
+			if curDone {
 				return resumeMsg{} // goroutine exits via directFinish
 			}
 			return cur.park() // resumes in a later Run (or unwinds on kill)
@@ -279,6 +308,12 @@ func (ex *Exec) dispatch(cur *Thread) resumeMsg {
 func (ex *Exec) shutdownDirect() {
 	for _, th := range ex.threads {
 		if th.state == stateDone {
+			continue
+		}
+		if !th.started {
+			// Pooled mode: the body never ran, so there is no goroutine
+			// to unwind.
+			th.state = stateDone
 			continue
 		}
 		ex.mu.Lock()

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"rtsj/internal/rtime"
+	"rtsj/internal/trace"
 )
 
 func TestMutexMutualExclusion(t *testing.T) {
@@ -70,7 +71,7 @@ func TestMutexPriorityInheritanceBoundsInversion(t *testing.T) {
 		} else {
 			m = NewMutexNoInherit("m")
 		}
-		ex := New(nil)
+		ex := New(trace.New())
 		ex.Spawn("lo", 1, 0, func(tc *TC) {
 			tc.WithLock(m, func() { tc.Consume(tu(4)) })
 		})

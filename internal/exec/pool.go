@@ -1,0 +1,143 @@
+package exec
+
+import "sync"
+
+// workerPool multiplexes thread bodies over a bounded set of goroutines
+// (Options.MaxGoroutines). It is shared by both kernels: only the body
+// runner differs (runPooledDirect / runPooledChannel).
+//
+// Why a pool is possible at all: the executive is a uniprocessor — at any
+// instant at most one thread executes user code, and the scheduler hands a
+// brand-new thread to the pool only at that single point (the token owner
+// in the direct kernel, the kernel loop in the channel kernel). A worker is
+// therefore pinned only while "its" body is in progress (running, or parked
+// mid-body at a kernel call); when the body returns, the worker is recycled
+// for the next unstarted thread. For run-to-completion workloads the number
+// of bodies simultaneously in progress — and hence the number of live
+// workers — is bounded by the preemption depth, not by the thread count.
+//
+// Worker accounting is race-free by construction: a finishing body calls
+// bodyFinished *before* the scheduling token moves on (before the direct
+// kernel wakes the successor, before the channel kernel receives the
+// terminate request), so when the scheduler next starts an unstarted
+// thread, the just-freed worker is already counted available and is reused
+// instead of spawning a fresh goroutine. The pool's peak size therefore
+// equals the true peak of concurrently in-progress bodies.
+//
+// Resident-size semantics: maxResident is the number of workers kept alive
+// once free. If a start arrives while every worker is pinned, a fresh
+// worker is spawned regardless of the cap (refusing would deadlock the
+// executive); workers above the cap retire as soon as their body finishes.
+type workerPool struct {
+	mu          sync.Mutex
+	cond        sync.Cond
+	queue       []*Thread // unstarted threads awaiting a worker (length <= 1 in practice)
+	avail       int       // workers free to take from the queue (idle or finishing up)
+	live        int       // all pool goroutines
+	peak        int       // high-water mark of live
+	maxResident int
+	closed      bool
+}
+
+func (p *workerPool) init(maxResident int) {
+	p.cond.L = &p.mu
+	p.maxResident = maxResident
+}
+
+// peakWorkers returns the high-water mark of simultaneously live workers.
+func (p *workerPool) peakWorkers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.peak
+}
+
+// startThread hands th's body to a worker: an available one if any,
+// otherwise a freshly spawned goroutine.
+func (ex *Exec) startThread(th *Thread) {
+	p := &ex.pool
+	p.mu.Lock()
+	p.queue = append(p.queue, th)
+	if p.avail >= len(p.queue) {
+		p.cond.Signal()
+	} else {
+		p.live++
+		p.avail++
+		if p.live > p.peak {
+			p.peak = p.live
+		}
+		go ex.poolWorker()
+	}
+	p.mu.Unlock()
+}
+
+// bodyFinished records that th's body returned and its worker is about to
+// rejoin the pool — or retire, when the pool is over its resident size.
+// Must be called in the worker's goroutine before the scheduling token is
+// handed on (see the package comment for why that makes reuse race-free).
+func (ex *Exec) bodyFinished(th *Thread) {
+	p := &ex.pool
+	p.mu.Lock()
+	if p.live > p.maxResident {
+		p.live--
+		th.poolRetire = true
+		p.cond.Broadcast() // close() waits on live==0
+	} else {
+		p.avail++
+		th.poolCounted = true
+	}
+	p.mu.Unlock()
+}
+
+// close retires every worker and waits for them to exit, so Shutdown
+// leaves no goroutines behind. Must be called after the kernel-specific
+// shutdown has unwound all started thread bodies.
+func (p *workerPool) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	for p.live > 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// poolWorker runs thread bodies until the pool closes or the worker is
+// retired as over-cap. counted tracks whether this worker is currently
+// included in p.avail.
+func (ex *Exec) poolWorker() {
+	p := &ex.pool
+	counted := true // startThread counted the spawn in avail
+	for {
+		p.mu.Lock()
+		if !counted {
+			p.avail++
+			counted = true
+		}
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			p.avail--
+			p.live--
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			return
+		}
+		th := p.queue[0]
+		p.queue = p.queue[1:]
+		p.avail--
+		p.mu.Unlock()
+		counted = false
+
+		if ex.kind == ChannelKernel {
+			th.runPooledChannel()
+		} else {
+			th.runPooledDirect()
+		}
+
+		if th.poolRetire {
+			return // bodyFinished already dropped it from live
+		}
+		counted = th.poolCounted
+	}
+}

@@ -105,6 +105,13 @@ func (ex *Exec) NotifyAll(q *WaitQueue) {
 // Timed.doInterruptible: if fn does not complete within the budget, its
 // current (or next) Consume unwinds and WithBudget returns true. The
 // elapsed accounting is the caller's responsibility (use Now before/after).
+//
+// A zero or negative budget means the section has no time at all: the
+// interrupt is pending from the start and fires at fn's first Consume,
+// which unwinds before any CPU is consumed. (A section that never consumes
+// still completes — Consume is the only interruption point.) This is
+// pinned deterministically rather than depending on timer/ready ordering
+// at the current instant.
 func (tc *TC) WithBudget(budget rtime.Duration, fn func()) (interrupted bool) {
 	th := tc.th
 	if th.inBudget {
@@ -114,7 +121,16 @@ func (tc *TC) WithBudget(budget rtime.Duration, fn func()) (interrupted bool) {
 	th.inBudget = true
 	th.pendingIntr = false
 	th.intrDelivered = false
-	cancel := ex.At(ex.now.Add(budget), func() { ex.interruptNow(th) })
+	cancel := func() {}
+	if budget <= 0 {
+		// An expired-on-entry budget needs no timer: mark the interrupt
+		// pending so the first Consume unwinds immediately on both
+		// kernels, independent of how same-instant timers interleave
+		// with the ready queue.
+		th.pendingIntr = true
+	} else {
+		cancel = ex.At(ex.now.Add(budget), func() { ex.interruptNow(th) })
+	}
 	defer func() {
 		cancel()
 		th.inBudget = false

@@ -41,6 +41,15 @@ type ExecModel struct {
 	// kernel differential tests set exec.ChannelKernel to re-run Tables 3/5
 	// workloads on the reference implementation.
 	Kernel exec.Kernel
+	// MaxGoroutines > 0 multiplexes executive thread bodies over a bounded
+	// worker pool (exec.Options.MaxGoroutines) instead of one goroutine
+	// per thread. Zero keeps the default goroutine-per-thread mode.
+	MaxGoroutines int
+}
+
+// execOptions maps the model onto the executive configuration.
+func (m ExecModel) execOptions() exec.Options {
+	return exec.Options{Kernel: m.Kernel, MaxGoroutines: m.MaxGoroutines}
 }
 
 // DefaultExecModel is the calibrated execution platform used for Tables 3
@@ -63,7 +72,8 @@ func DefaultExecModel() ExecModel {
 // testing).
 func ZeroExecModel() ExecModel { return ExecModel{} }
 
-// ExecOutcome is the result of one framework execution.
+// ExecOutcome is the result of one framework execution. Trace is nil for
+// metrics-only executions (RunExecutionMetrics).
 type ExecOutcome struct {
 	Trace   *trace.Trace
 	Records []*core.EventRecord
@@ -85,15 +95,28 @@ func RunSimulationMetrics(sys sim.System, horizon rtime.Time) (*sim.Result, erro
 }
 
 // RunExecution realizes sys on the Task Server Framework and runs it on
-// the RTSJ emulation until the horizon. The system's server policy selects
-// the framework server: polling policies map to PollingTaskServer,
-// deferrable ones to DeferrableTaskServer (executions are inherently
-// "limited": that is the point of the paper).
+// the RTSJ emulation until the horizon, recording a full trace. The
+// system's server policy selects the framework server: polling policies map
+// to PollingTaskServer, deferrable ones to DeferrableTaskServer (executions
+// are inherently "limited": that is the point of the paper).
 func RunExecution(sys sim.System, m ExecModel, horizon rtime.Time) (*ExecOutcome, error) {
+	return runExecutionSink(sys, m, horizon, trace.New())
+}
+
+// RunExecutionMetrics executes sys without recording a trace: the fast path
+// for table and matrix cells, which only consume the servers' event
+// records. The executive then skips all trace bookkeeping — no per-slice
+// segment appends, no entity registration — mirroring RunSimulationMetrics
+// on the simulation side.
+func RunExecutionMetrics(sys sim.System, m ExecModel, horizon rtime.Time) (*ExecOutcome, error) {
+	return runExecutionSink(sys, m, horizon, trace.Nop{})
+}
+
+func runExecutionSink(sys sim.System, m ExecModel, horizon rtime.Time, sink trace.Sink) (*ExecOutcome, error) {
 	if sys.Server == nil {
 		return nil, fmt.Errorf("experiments: execution needs a task server")
 	}
-	vm := rtsjvm.NewVMKernel(nil, m.Overheads, m.Kernel)
+	vm := rtsjvm.NewVMSink(sink, m.Overheads, m.execOptions())
 	spec := *sys.Server
 	name := spec.Name
 	params := core.NewTaskServerParameters(0, spec.Capacity, spec.Period)

@@ -28,45 +28,81 @@ func TestExecutionTablesKernelIndependent(t *testing.T) {
 				systems = systems[:3] // three systems per set keep the test fast
 			}
 			model := DefaultExecModel()
+			// The full executive configuration matrix: both kernels, each
+			// in goroutine-per-thread and pooled mode. channel/per-thread
+			// is the reference.
+			variants := []struct {
+				name          string
+				kernel        exec.Kernel
+				maxGoroutines int
+			}{
+				{"channel", exec.ChannelKernel, 0},
+				{"direct", exec.DirectKernel, 0},
+				{"channel-pooled", exec.ChannelKernel, 4},
+				{"direct-pooled", exec.DirectKernel, 4},
+			}
 			for i, base := range systems {
 				sys := gen.WithServer(base, p, cfg.policy, 100)
 				model.SysIndex = i
 
-				direct := model
-				direct.Kernel = exec.DirectKernel
-				channel := model
-				channel.Kernel = exec.ChannelKernel
-
-				do, err := RunExecution(sys, direct, p.Horizon())
+				ref := model
+				ref.Kernel = variants[0].kernel
+				co, err := RunExecution(sys, ref, p.Horizon())
 				if err != nil {
 					t.Fatal(err)
 				}
-				co, err := RunExecution(sys, channel, p.Horizon())
-				if err != nil {
-					t.Fatal(err)
-				}
-				if len(do.Records) == 0 {
+				if len(co.Records) == 0 {
 					t.Fatalf("system %d: no event records; workload is empty", i)
 				}
-				if len(do.Records) != len(co.Records) {
-					t.Fatalf("system %d: record counts differ: direct=%d channel=%d",
-						i, len(do.Records), len(co.Records))
-				}
-				for k := range do.Records {
-					d, c := do.Records[k], co.Records[k]
-					if *d != *c {
-						t.Fatalf("system %d record %d differs:\ndirect:  %+v\nchannel: %+v", i, k, *d, *c)
+				for _, v := range variants[1:] {
+					m := model
+					m.Kernel = v.kernel
+					m.MaxGoroutines = v.maxGoroutines
+					do, err := RunExecution(sys, m, p.Horizon())
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(do.Records) != len(co.Records) {
+						t.Fatalf("system %d: record counts differ: %s=%d channel=%d",
+							i, v.name, len(do.Records), len(co.Records))
+					}
+					for k := range do.Records {
+						d, c := do.Records[k], co.Records[k]
+						if *d != *c {
+							t.Fatalf("system %d record %d differs:\n%s: %+v\nchannel: %+v", i, k, v.name, *d, *c)
+						}
+					}
+					a, b := co.Trace, do.Trace
+					if len(a.Segments) != len(b.Segments) {
+						t.Fatalf("system %d: segment counts differ: channel=%d %s=%d",
+							i, len(a.Segments), v.name, len(b.Segments))
+					}
+					for k := range a.Segments {
+						if a.Segments[k] != b.Segments[k] {
+							t.Fatalf("system %d segment %d differs: channel=%+v %s=%+v",
+								i, k, a.Segments[k], v.name, b.Segments[k])
+						}
 					}
 				}
-				a, b := co.Trace, do.Trace
-				if len(a.Segments) != len(b.Segments) {
-					t.Fatalf("system %d: segment counts differ: channel=%d direct=%d",
-						i, len(a.Segments), len(b.Segments))
+
+				// The metrics-only fast path (trace.Nop through the whole
+				// executive) must not perturb the schedule: identical event
+				// records, no trace.
+				mo, err := RunExecutionMetrics(sys, model, p.Horizon())
+				if err != nil {
+					t.Fatal(err)
 				}
-				for k := range a.Segments {
-					if a.Segments[k] != b.Segments[k] {
-						t.Fatalf("system %d segment %d differs: channel=%+v direct=%+v",
-							i, k, a.Segments[k], b.Segments[k])
+				if mo.Trace != nil {
+					t.Fatalf("system %d: metrics-only execution carries a trace", i)
+				}
+				if len(mo.Records) != len(co.Records) {
+					t.Fatalf("system %d: metrics-only record count differs: %d vs %d",
+						i, len(mo.Records), len(co.Records))
+				}
+				for k := range mo.Records {
+					if *mo.Records[k] != *co.Records[k] {
+						t.Fatalf("system %d record %d differs on the metrics-only path:\nnop:   %+v\ntrace: %+v",
+							i, k, *mo.Records[k], *co.Records[k])
 					}
 				}
 			}

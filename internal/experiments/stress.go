@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rtsj/internal/exec"
+	"rtsj/internal/rtime"
+)
+
+// Large-N stress scenario: the workload the pooled executive
+// (exec.Options.MaxGoroutines) opens up. Thousands to tens of thousands of
+// one-shot sporadic job threads — each released once, consuming a short
+// burst of CPU to completion — arrive on top of a small set of periodic
+// background threads. In goroutine-per-thread mode such a system costs one
+// OS-level goroutine per job; pooled, the goroutine count is bounded by the
+// preemption depth (roughly the number of priority bands) because each
+// worker is recycled as soon as its job completes.
+
+// StressParams configures the scenario generator. Everything is derived
+// deterministically from Seed, so two runs (on any executive
+// configuration) schedule identically.
+type StressParams struct {
+	// Jobs is the number of one-shot sporadic job threads.
+	Jobs int
+	// Background is the number of periodic background threads. Each one
+	// loops forever and therefore pins a pool worker; keep it small.
+	Background int
+	// PriorityBands spreads the sporadic jobs over this many priority
+	// levels above the background load.
+	PriorityBands int
+	// Seed drives release times, costs and priorities.
+	Seed uint64
+	// Kernel and MaxGoroutines configure the executive (MaxGoroutines 0 =
+	// goroutine-per-thread).
+	Kernel        exec.Kernel
+	MaxGoroutines int
+}
+
+// DefaultStressParams is the 10k-job configuration used by
+// BenchmarkExecLargeN and cmd/stress.
+func DefaultStressParams() StressParams {
+	return StressParams{
+		Jobs:          10_000,
+		Background:    4,
+		PriorityBands: 6,
+		Seed:          2007,
+		Kernel:        exec.DirectKernel,
+		MaxGoroutines: 64,
+	}
+}
+
+// StressResult summarizes one stress run.
+type StressResult struct {
+	Jobs          int
+	Completed     int
+	BackgroundRun int // background activations completed
+	TotalConsumed rtime.Duration
+	Horizon       rtime.Time
+	FinalTime     rtime.Time
+	PeakWorkers   int // pool goroutine high-water mark (0 in per-thread mode)
+	// Fingerprint hashes every job completion (index, instant) in
+	// schedule order: two runs are schedule-identical iff it matches.
+	Fingerprint uint64
+}
+
+// stressRand is the same splitmix-style deterministic generator the
+// executive tests use; the stress scenario must not depend on math/rand's
+// version-dependent stream.
+type stressRand struct{ s uint64 }
+
+func (r *stressRand) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 17
+}
+
+// RunStress builds and runs the scenario. The horizon is sized so the
+// generated demand fits (utilization ~0.8), and the run extends past the
+// last release until the system quiesces.
+func RunStress(p StressParams) (*StressResult, error) {
+	if p.Jobs <= 0 {
+		return nil, fmt.Errorf("stress: need at least one job (got %d)", p.Jobs)
+	}
+	if p.PriorityBands <= 0 {
+		p.PriorityBands = 1
+	}
+	rng := &stressRand{s: p.Seed ^ 0x9e3779b97f4a7c15}
+	ex := exec.NewWithOptions(nil, exec.Options{Kernel: p.Kernel, MaxGoroutines: p.MaxGoroutines})
+	res := &StressResult{Jobs: p.Jobs, Fingerprint: 14695981039346656037}
+
+	// Release window: jobs at ~0.5tu average cost, spread to ~55% load,
+	// leaving room for the background threads (~25%).
+	window := rtime.Time(rtime.Duration(p.Jobs) * rtime.TU)
+	res.Horizon = window + rtime.Time(rtime.TUs(float64(100)))
+
+	for i := 0; i < p.Background; i++ {
+		period := rtime.Duration(8+2*i) * rtime.TU
+		cost := rtime.Duration(4+i) * rtime.TU / 8
+		ex.Spawn(fmt.Sprintf("bg%d", i), 1, 0, func(tc *exec.TC) {
+			next := rtime.Time(0)
+			for {
+				tc.Consume(cost)
+				res.BackgroundRun++
+				next = next.Add(period)
+				tc.SleepUntil(next)
+			}
+		})
+	}
+
+	for i := 0; i < p.Jobs; i++ {
+		i := i
+		release := rtime.Time(rng.next() % uint64(window))
+		cost := rtime.Duration(1+rng.next()%10) * rtime.TU / 10 // 0.1..1.0 tu
+		prio := 2 + int(rng.next()%uint64(p.PriorityBands))
+		ex.Spawn(fmt.Sprintf("job%d", i), prio, release, func(tc *exec.TC) {
+			tc.Consume(cost)
+			res.Completed++
+			res.Fingerprint = (res.Fingerprint ^ uint64(i)) * 1099511628211
+			res.Fingerprint = (res.Fingerprint ^ uint64(tc.Now())) * 1099511628211
+		})
+	}
+
+	err := ex.Run(res.Horizon)
+	res.FinalTime = ex.Now()
+	res.PeakWorkers = ex.PoolPeak()
+	for _, th := range ex.Threads() {
+		res.TotalConsumed += th.Consumed()
+	}
+	ex.Shutdown()
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

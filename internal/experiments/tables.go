@@ -104,7 +104,7 @@ func RunSet(key string, policy sim.ServerPolicy, mode Mode, model ExecModel) (me
 		case Execution:
 			m := model
 			m.SysIndex = i
-			o, err := RunExecution(sys, m, horizon)
+			o, err := RunExecutionMetrics(sys, m, horizon)
 			if err != nil {
 				return metrics.Summary{}, err
 			}

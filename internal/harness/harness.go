@@ -11,6 +11,7 @@
 package harness
 
 import (
+	"fmt"
 	"os"
 	"runtime"
 	"strconv"
@@ -29,8 +30,14 @@ var override atomic.Int64
 // -workers flag here; tests use it to pin determinism runs.
 func SetWorkers(n int) { override.Store(int64(n)) }
 
-// Workers returns the worker count used when Map is called with workers<=0:
-// the SetWorkers override, else $RTSJ_WORKERS, else GOMAXPROCS.
+var envWarnOnce sync.Once
+
+// Workers returns the worker count used when Map is called with workers<=0.
+// Precedence: the SetWorkers override (the cmd front-ends' -workers flag),
+// else $RTSJ_WORKERS, else GOMAXPROCS. An invalid $RTSJ_WORKERS value
+// (non-numeric, zero, or negative) is ignored with a single warning on
+// stderr — silently falling back used to hide typos like RTSJ_WORKERS=four
+// or RTSJ_WORKERS=-2.
 func Workers() int {
 	if n := int(override.Load()); n > 0 {
 		return n
@@ -39,6 +46,11 @@ func Workers() int {
 		if n, err := strconv.Atoi(s); err == nil && n > 0 {
 			return n
 		}
+		envWarnOnce.Do(func() {
+			fmt.Fprintf(os.Stderr,
+				"harness: ignoring invalid %s=%q (want a positive integer); using GOMAXPROCS=%d\n",
+				EnvWorkers, s, runtime.GOMAXPROCS(0))
+		})
 	}
 	return runtime.GOMAXPROCS(0)
 }

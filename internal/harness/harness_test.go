@@ -149,9 +149,13 @@ func TestWorkersPrecedence(t *testing.T) {
 	if got := Workers(); got != 5 {
 		t.Fatalf("override Workers() = %d, want 5", got)
 	}
-	t.Setenv(EnvWorkers, "junk")
+	// Invalid env values — non-numeric, zero, negative — all fall back to
+	// GOMAXPROCS (with a once-per-process warning on stderr).
 	SetWorkers(0)
-	if got := Workers(); got != runtime.GOMAXPROCS(0) {
-		t.Fatalf("junk env Workers() = %d, want GOMAXPROCS", got)
+	for _, bad := range []string{"junk", "0", "-2", "3.5"} {
+		t.Setenv(EnvWorkers, bad)
+		if got := Workers(); got != runtime.GOMAXPROCS(0) {
+			t.Fatalf("%s=%q: Workers() = %d, want GOMAXPROCS", EnvWorkers, bad, got)
+		}
 	}
 }

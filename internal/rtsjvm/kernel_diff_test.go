@@ -135,25 +135,40 @@ var vmCorpus = []vmScenario{
 	}},
 }
 
+// vmDiffConfigs is the executive configuration matrix the corpus runs on:
+// both kernels, each in goroutine-per-thread and pooled mode. The channel
+// per-thread configuration is the reference.
+var vmDiffConfigs = []struct {
+	name string
+	opts exec.Options
+}{
+	{"channel", exec.Options{Kernel: exec.ChannelKernel}},
+	{"direct", exec.Options{Kernel: exec.DirectKernel}},
+	{"channel-pooled", exec.Options{Kernel: exec.ChannelKernel, MaxGoroutines: 2}},
+	{"direct-pooled", exec.Options{Kernel: exec.DirectKernel, MaxGoroutines: 2}},
+}
+
 func TestKernelDiffVMCorpus(t *testing.T) {
 	for _, sc := range vmCorpus {
 		sc := sc
 		t.Run(sc.name, func(t *testing.T) {
-			run := func(kind exec.Kernel) *VM {
-				vm := NewVMKernel(nil, sc.oh, kind)
+			run := func(opts exec.Options) *VM {
+				vm := NewVMSink(trace.New(), sc.oh, opts)
 				sc.build(vm)
 				if err := vm.Run(sc.horizon); err != nil {
-					t.Fatalf("%s kernel: %v", kind, err)
+					t.Fatalf("%s kernel: %v", opts.Kernel, err)
 				}
 				vm.Shutdown()
 				return vm
 			}
-			ch := run(exec.ChannelKernel)
-			di := run(exec.DirectKernel)
-			compareVMTraces(t, sc.name, ch.Trace(), di.Trace())
-			if ch.Now() != di.Now() {
-				t.Errorf("%s: final time differs: channel=%v direct=%v",
-					sc.name, ch.Now().TUs(), di.Now().TUs())
+			ref := run(vmDiffConfigs[0].opts)
+			for _, cfg := range vmDiffConfigs[1:] {
+				got := run(cfg.opts)
+				compareVMTraces(t, sc.name+"/"+cfg.name, ref.Trace(), got.Trace())
+				if ref.Now() != got.Now() {
+					t.Errorf("%s/%s: final time differs: ref=%v got=%v",
+						sc.name, cfg.name, ref.Now().TUs(), got.Now().TUs())
+				}
 			}
 		})
 	}
@@ -162,28 +177,28 @@ func TestKernelDiffVMCorpus(t *testing.T) {
 func compareVMTraces(t *testing.T, name string, a, b *trace.Trace) {
 	t.Helper()
 	if err := b.CheckSingleCPU(); err != nil {
-		t.Errorf("%s: direct trace invalid: %v", name, err)
+		t.Errorf("%s: trace invalid: %v", name, err)
 	}
 	if len(a.Segments) != len(b.Segments) {
-		t.Errorf("%s: segment counts differ: channel=%d direct=%d\nchannel:\n%s\ndirect:\n%s",
+		t.Errorf("%s: segment counts differ: ref=%d got=%d\nref:\n%s\ngot:\n%s",
 			name, len(a.Segments), len(b.Segments),
 			a.Gantt(trace.GanttOptions{}), b.Gantt(trace.GanttOptions{}))
 		return
 	}
 	for i := range a.Segments {
 		if a.Segments[i] != b.Segments[i] {
-			t.Errorf("%s: segment %d differs: channel=%+v direct=%+v",
+			t.Errorf("%s: segment %d differs: ref=%+v got=%+v",
 				name, i, a.Segments[i], b.Segments[i])
 			return
 		}
 	}
 	if len(a.Events) != len(b.Events) {
-		t.Errorf("%s: event counts differ: channel=%d direct=%d", name, len(a.Events), len(b.Events))
+		t.Errorf("%s: event counts differ: ref=%d got=%d", name, len(a.Events), len(b.Events))
 		return
 	}
 	for i := range a.Events {
 		if a.Events[i] != b.Events[i] {
-			t.Errorf("%s: event %d differs: channel=%+v direct=%+v",
+			t.Errorf("%s: event %d differs: ref=%+v got=%+v",
 				name, i, a.Events[i], b.Events[i])
 			return
 		}

@@ -72,8 +72,10 @@ type VM struct {
 	sched   *PriorityScheduler
 }
 
-// NewVM creates a VM tracing into tr (may be nil) with the given overhead
-// model, on the executive's default (direct, channel-free) kernel. The
+// NewVM creates a VM tracing into tr with the given overhead model, on the
+// executive's default (direct, channel-free) kernel. A nil tr records into
+// a fresh trace (this convenience constructor always yields a readable
+// Trace); use NewVMSink with trace.Nop for the metrics-only fast path. The
 // timer daemon thread is created immediately.
 func NewVM(tr *trace.Trace, oh Overheads) *VM {
 	return NewVMKernel(tr, oh, exec.DirectKernel)
@@ -81,10 +83,22 @@ func NewVM(tr *trace.Trace, oh Overheads) *VM {
 
 // NewVMKernel creates a VM on an explicitly chosen executive kernel. Both
 // kernels are contractually schedule-identical; the differential kernel
-// tests run the same workloads through each and compare traces.
+// tests run the same workloads through each and compare traces. A nil tr
+// records into a fresh trace, as in NewVM.
 func NewVMKernel(tr *trace.Trace, oh Overheads, kind exec.Kernel) *VM {
+	if tr == nil {
+		tr = trace.New()
+	}
+	return NewVMSink(tr, oh, exec.Options{Kernel: kind})
+}
+
+// NewVMSink is the fully explicit constructor: the VM records into sink
+// (nil or trace.Nop records nothing — the metrics-only fast path used by
+// the execution tables) on an executive configured by opts, including the
+// pooled thread-body mode (opts.MaxGoroutines).
+func NewVMSink(sink trace.Sink, oh Overheads, opts exec.Options) *VM {
 	vm := &VM{
-		ex:      exec.NewKernel(tr, kind),
+		ex:      exec.NewWithOptions(sink, opts),
 		oh:      oh,
 		daemonQ: exec.NewWaitQueue("timerd"),
 		sched:   NewPriorityScheduler(),
@@ -102,7 +116,8 @@ func (vm *VM) Overheads() Overheads { return vm.oh }
 // Scheduler returns the VM's priority scheduler (feasibility set).
 func (vm *VM) Scheduler() *PriorityScheduler { return vm.sched }
 
-// Trace returns the execution trace.
+// Trace returns the execution trace (nil when the VM records into a
+// non-accumulating sink, e.g. trace.Nop).
 func (vm *VM) Trace() *trace.Trace { return vm.ex.Trace() }
 
 // Now returns the current virtual time.

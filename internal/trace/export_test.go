@@ -69,6 +69,80 @@ func TestWriteJSON(t *testing.T) {
 	}
 }
 
+// evilTrace exercises every metacharacter the exporters must keep intact:
+// commas (CSV field separator), double quotes (CSV/JSON quoting), newlines
+// (CSV record separator), and backslashes (JSON escapes).
+func evilTrace() *Trace {
+	tr := New()
+	tr.DeclareEntity(`srv,"quoted"`)
+	tr.Run(`srv,"quoted"`, rtime.AtTU(0), rtime.AtTU(1), "h1,h2")
+	tr.Run(`srv,"quoted"`, rtime.AtTU(1), rtime.AtTU(2), "line1\nline2")
+	tr.Run(`srv,"quoted"`, rtime.AtTU(2), rtime.AtTU(3), `say "hi"`)
+	tr.Run(`srv,"quoted"`, rtime.AtTU(3), rtime.AtTU(4), `back\slash`)
+	tr.Mark(`srv,"quoted"`, rtime.AtTU(4), Completion, "done,\n\"ok\"")
+	return tr
+}
+
+func TestWriteCSVRoundTripsEvilLabels(t *testing.T) {
+	tr := evilTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("exported CSV does not parse back: %v", err)
+	}
+	if len(rows) != 1+len(tr.Segments)+len(tr.Events) {
+		t.Fatalf("rows = %d, want %d", len(rows), 1+len(tr.Segments)+len(tr.Events))
+	}
+	for i, s := range tr.Segments {
+		row := rows[1+i]
+		if row[1] != s.Entity || row[4] != s.Label {
+			t.Errorf("segment %d round-trip: entity %q label %q, want %q %q",
+				i, row[1], row[4], s.Entity, s.Label)
+		}
+	}
+	ev := rows[1+len(tr.Segments)]
+	if ev[1] != tr.Events[0].Entity || ev[4] != "completion:"+tr.Events[0].Label {
+		t.Errorf("event round-trip: %q / %q", ev[1], ev[4])
+	}
+}
+
+func TestWriteJSONRoundTripsEvilLabels(t *testing.T) {
+	tr := evilTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Entities []string `json:"entities"`
+		Segments []struct {
+			Entity string `json:"entity"`
+			Label  string `json:"label"`
+		} `json:"segments"`
+		Events []struct {
+			Entity string `json:"entity"`
+			Label  string `json:"label"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported JSON does not parse back: %v", err)
+	}
+	if len(doc.Entities) != 1 || doc.Entities[0] != tr.Entities()[0] {
+		t.Fatalf("entities = %q", doc.Entities)
+	}
+	for i, s := range tr.Segments {
+		if doc.Segments[i].Entity != s.Entity || doc.Segments[i].Label != s.Label {
+			t.Errorf("segment %d round-trip: %+v, want entity %q label %q",
+				i, doc.Segments[i], s.Entity, s.Label)
+		}
+	}
+	if doc.Events[0].Label != tr.Events[0].Label {
+		t.Errorf("event label = %q, want %q", doc.Events[0].Label, tr.Events[0].Label)
+	}
+}
+
 func TestExportEmptyTrace(t *testing.T) {
 	var buf bytes.Buffer
 	if err := New().WriteCSV(&buf); err != nil {
