@@ -330,6 +330,31 @@ func BenchmarkExecLargeN(b *testing.B) {
 	b.ReportMetric(float64(res.PeakWorkers), "peak-workers")
 }
 
+// BenchmarkExecPeriodicSteadyState runs the 10k-periodic-entity
+// steady-state scenario on the activation-driven executive
+// (exec.SpawnPeriodic over the worker pool): every entity releases several
+// times over the horizon, and no entity owns a goroutine between releases,
+// so the whole system runs on a pool-sized worker set. This is the
+// workload where looping periodic bodies would degrade the pooled
+// executive back to one pinned worker per entity.
+func BenchmarkExecPeriodicSteadyState(b *testing.B) {
+	p := experiments.DefaultSteadyStateParams()
+	b.ReportAllocs()
+	var res *experiments.SteadyStateResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunPeriodicSteadyState(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Activations < p.Entities {
+			b.Fatalf("only %d activations for %d entities", res.Activations, p.Entities)
+		}
+	}
+	b.ReportMetric(float64(res.Activations*b.N)/b.Elapsed().Seconds(), "activations/s")
+	b.ReportMetric(float64(res.PeakWorkers), "peak-workers")
+}
+
 // BenchmarkExecContextSwitch measures the raw cost of one executive
 // preemption round trip (kernel -> thread -> kernel).
 func BenchmarkExecContextSwitch(b *testing.B) {

@@ -1,17 +1,29 @@
-// Command stress runs the large-N stress scenario: thousands to tens of
-// thousands of one-shot sporadic job threads plus periodic background load
-// on the virtual-time executive, exercising the pooled thread-body mode
-// (exec.Options.MaxGoroutines) that bounds the OS-level goroutine count by
-// the preemption depth instead of the thread count.
+// Command stress runs the executive's two large-N workloads:
+//
+// The sporadic scenario (default) releases thousands to tens of thousands
+// of one-shot sporadic job threads plus periodic background load,
+// exercising the pooled thread-body mode (exec.Options.MaxGoroutines) that
+// bounds the OS-level goroutine count by the preemption depth instead of
+// the thread count.
+//
+// The steady scenario (-scenario steady) runs thousands to tens of
+// thousands of long-running periodic entities, exercising the
+// activation-driven dispatch path (exec.SpawnPeriodic) that removes the
+// last per-entity goroutine: entities own no goroutine between releases,
+// so the whole system runs on a pool-sized worker set.
 //
 // Usage:
 //
-//	stress [-n 10000] [-maxgoroutines 64] [-kernel direct|channel]
-//	       [-background 4] [-bands 6] [-seed 2007] [-quiet]
+//	stress [-scenario sporadic|steady] [-n 10000] [-maxgoroutines 64]
+//	       [-kernel direct|channel] [-activation] [-background 4]
+//	       [-bands 6] [-seed 2007] [-quiet]
 //
 // With -maxgoroutines 0 the executive falls back to one goroutine per
 // thread (the default outside this command), which is useful to compare
-// footprints; the schedule is identical either way.
+// footprints; the schedule is identical either way. -activation runs the
+// periodic entities (steady scenario) or background threads (sporadic
+// scenario) on the activation path; -activation=false compares against
+// parked periodic loops — again schedule-identical.
 package main
 
 import (
@@ -27,34 +39,82 @@ import (
 
 func main() {
 	def := experiments.DefaultStressParams()
-	n := flag.Int("n", def.Jobs, "number of one-shot sporadic job threads")
+	steadyDef := experiments.DefaultSteadyStateParams()
+	scenario := flag.String("scenario", "sporadic", "workload: sporadic (one-shot jobs) or steady (periodic entities)")
+	n := flag.Int("n", 0, "job count (sporadic) or entity count (steady); 0 = scenario default")
 	maxg := flag.Int("maxgoroutines", def.MaxGoroutines, "pool size; 0 = one goroutine per thread")
 	kernel := flag.String("kernel", "direct", "executive kernel: direct or channel")
-	background := flag.Int("background", def.Background, "periodic background threads")
+	activation := flag.Bool("activation", true, "periodic entities use activation dispatch (no goroutine between releases)")
+	background := flag.Int("background", def.Background, "periodic background threads (sporadic scenario)")
 	bands := flag.Int("bands", def.PriorityBands, "priority bands for the sporadic jobs")
+	horizon := flag.Float64("horizon", steadyDef.HorizonTU, "steady-scenario horizon in time units")
 	seed := flag.Uint64("seed", def.Seed, "scenario seed")
 	quiet := flag.Bool("quiet", false, "print only the summary line")
 	flag.Parse()
 
-	if *n <= 0 || *background < 0 || *bands <= 0 || *maxg < 0 {
-		fatal(fmt.Errorf("-n and -bands must be positive; -background and -maxgoroutines must be >= 0"))
-	}
-	p := experiments.StressParams{
-		Jobs:          *n,
-		Background:    *background,
-		PriorityBands: *bands,
-		Seed:          *seed,
-		MaxGoroutines: *maxg,
-	}
+	var kind exec.Kernel
 	switch *kernel {
 	case "direct":
-		p.Kernel = exec.DirectKernel
+		kind = exec.DirectKernel
 	case "channel":
-		p.Kernel = exec.ChannelKernel
+		kind = exec.ChannelKernel
 	default:
 		fatal(fmt.Errorf("unknown kernel %q (want direct or channel)", *kernel))
 	}
+	if *n < 0 || *background < 0 || *bands <= 0 || *maxg < 0 {
+		fatal(fmt.Errorf("-n, -background and -maxgoroutines must be >= 0; -bands must be positive"))
+	}
+	// Reject flags the selected scenario would silently ignore: a user
+	// comparing configurations must not believe a setting took effect when
+	// it did not.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	switch *scenario {
+	case "steady":
+		if set["background"] || set["bands"] {
+			fatal(fmt.Errorf("-background and -bands apply only to -scenario sporadic"))
+		}
+	case "sporadic":
+		if set["horizon"] {
+			fatal(fmt.Errorf("-horizon applies only to -scenario steady"))
+		}
+	}
 
+	switch *scenario {
+	case "sporadic":
+		p := experiments.StressParams{
+			Jobs:               def.Jobs,
+			Background:         *background,
+			PriorityBands:      *bands,
+			Seed:               *seed,
+			Kernel:             kind,
+			MaxGoroutines:      *maxg,
+			PeriodicActivation: *activation,
+		}
+		if *n > 0 {
+			p.Jobs = *n
+		}
+		runSporadic(p, *quiet)
+	case "steady":
+		p := experiments.SteadyStateParams{
+			Entities:      steadyDef.Entities,
+			HorizonTU:     *horizon,
+			Utilization:   steadyDef.Utilization,
+			Seed:          *seed,
+			Kernel:        kind,
+			MaxGoroutines: *maxg,
+			Activation:    *activation,
+		}
+		if *n > 0 {
+			p.Entities = *n
+		}
+		runSteady(p, *quiet)
+	default:
+		fatal(fmt.Errorf("unknown scenario %q (want sporadic or steady)", *scenario))
+	}
+}
+
+func runSporadic(p experiments.StressParams, quiet bool) {
 	goroutinesBefore := runtime.NumGoroutine()
 	start := time.Now()
 	res, err := experiments.RunStress(p)
@@ -62,9 +122,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if !*quiet {
-		fmt.Printf("scenario : %d jobs over %d bands, %d background threads, seed %d\n",
-			res.Jobs, *bands, *background, *seed)
+	if !quiet {
+		fmt.Printf("scenario : %d jobs over %d bands, %d background threads (activation=%v), seed %d\n",
+			res.Jobs, p.PriorityBands, p.Background, p.PeriodicActivation, p.Seed)
 		fmt.Printf("executive: %s kernel, maxgoroutines=%d\n", p.Kernel, p.MaxGoroutines)
 		fmt.Printf("completed: %d/%d jobs, %d background activations\n",
 			res.Completed, res.Jobs, res.BackgroundRun)
@@ -82,6 +142,36 @@ func main() {
 		// The CI stress smoke relies on this: stranded jobs are a
 		// scheduling bug, not a soft statistic.
 		fatal(fmt.Errorf("only %d of %d jobs completed", res.Completed, res.Jobs))
+	}
+}
+
+func runSteady(p experiments.SteadyStateParams, quiet bool) {
+	goroutinesBefore := runtime.NumGoroutine()
+	start := time.Now()
+	res, err := experiments.RunPeriodicSteadyState(p)
+	elapsed := time.Since(start)
+	if err != nil {
+		fatal(err)
+	}
+	if !quiet {
+		fmt.Printf("scenario : %d periodic entities, horizon %gtu, utilization %g, seed %d\n",
+			res.Entities, p.HorizonTU, p.Utilization, p.Seed)
+		fmt.Printf("executive: %s kernel, maxgoroutines=%d, activation=%v\n",
+			p.Kernel, p.MaxGoroutines, p.Activation)
+		fmt.Printf("released : %d activations (%d missed)\n", res.Activations, res.Missed)
+		fmt.Printf("virtual  : consumed %v, finished at %v of %v horizon\n",
+			res.TotalConsumed, res.FinalTime, res.Horizon)
+		fmt.Printf("pool     : peak %d workers (goroutines before run: %d)\n",
+			res.PeakWorkers, goroutinesBefore)
+		fmt.Printf("wall     : %v (%.0f activations/s)\n", elapsed.Round(time.Millisecond),
+			float64(res.Activations)/elapsed.Seconds())
+	}
+	fmt.Printf("steady: %d entities %d activations, kernel=%s maxgoroutines=%d activation=%v peak-workers=%d fingerprint=%016x wall=%v\n",
+		res.Entities, res.Activations, p.Kernel, p.MaxGoroutines, p.Activation,
+		res.PeakWorkers, res.Fingerprint, elapsed.Round(time.Millisecond))
+	if res.Activations < res.Entities {
+		// Every entity must release at least once within the horizon.
+		fatal(fmt.Errorf("only %d activations for %d entities", res.Activations, res.Entities))
 	}
 }
 

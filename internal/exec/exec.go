@@ -1,46 +1,3 @@
-// Package exec is a deterministic virtual-time executive: it runs goroutines
-// as preemptive fixed-priority threads over a simulated clock.
-//
-// This is the substrate that replaces the paper's execution platform (the
-// RTSJ reference implementation on a real-time Linux kernel). Go's garbage
-// collector and goroutine scheduler preclude faithful hard real-time
-// behaviour on the wall clock, so instead the executive virtualizes time:
-// threads declare CPU demand with Consume, and the kernel advances a virtual
-// clock, preempting and interleaving exactly as a uniprocessor
-// fixed-priority scheduler would. Everything the paper's measurements depend
-// on — preemption by higher-priority timer threads, asynchronous
-// interruption of a budgeted section (Timed/AIE), wall-clock capacity
-// accounting — is reproduced exactly and deterministically.
-//
-// Mechanics: thread bodies are goroutines, but exactly one runs at a time;
-// code between kernel calls executes in zero virtual time, and virtual time
-// only advances while a thread is inside Consume or the processor is idle.
-// Two kernels implement that contract:
-//
-//   - DirectKernel (the default): channel-free. The scheduling loop runs
-//     inline in whichever goroutine currently holds the virtual CPU, so
-//     consecutive same-thread Consume/advance/sleep steps never leave the
-//     goroutine, and a real parked-goroutine handoff (mutex + condition
-//     variable, one futex wake per switch) happens only when a *different*
-//     thread must run. The ready queue and timer queue are binary heaps.
-//
-//   - ChannelKernel: the original two-channel rendezvous (kernel goroutine
-//     resumes a thread, thread sends its next request back), with linear
-//     ready/timer scans. It is kept as the reference implementation
-//     (unchanged except one deliberate fix noted in kernel_channel.go:
-//     cancelled timers never fire); differential tests assert both kernels
-//     produce trace-for-trace identical schedules.
-//
-// The executive records into a trace.Sink. Passing *trace.Trace accumulates
-// a full schedule recording; passing nil (or trace.Nop) records nothing —
-// the metrics-only fast path used by the table experiments, which skips the
-// per-slice segment append entirely.
-//
-// Orthogonally to the kernel choice, Options.MaxGoroutines multiplexes
-// thread bodies over a bounded pool of worker goroutines (pool.go) instead
-// of dedicating one goroutine per thread, so a system with tens of
-// thousands of mostly run-to-completion threads needs only a handful of
-// OS-level goroutines. Scheduling decisions are identical in both modes.
 package exec
 
 import (
@@ -63,6 +20,7 @@ const (
 	ChannelKernel
 )
 
+// String returns the kernel's short name ("direct" or "channel").
 func (k Kernel) String() string {
 	if k == ChannelKernel {
 		return "channel"
@@ -112,6 +70,10 @@ const (
 	reqSleep
 	reqWait
 	reqTerminate
+	// reqRearm ends one activation of a periodic entity (ChannelKernel;
+	// the direct kernel calls rearm inline): advance the release, then
+	// sleep until it as reqSleep would.
+	reqRearm
 )
 
 type request struct {
@@ -151,11 +113,21 @@ type Thread struct {
 	heapIdx   int // position in the ready heap, -1 when not enqueued
 
 	// Pooled mode: whether the body has been handed to a worker yet (a
-	// thread that never starts never costs a goroutine), and the worker's
-	// post-body fate as decided by bodyFinished.
-	started     bool
-	poolRetire  bool
-	poolCounted bool
+	// thread that never starts never costs a goroutine), and the fate
+	// struct of the worker currently running the body (bound per dispatch
+	// by poolWorker, written by bodyFinished).
+	started bool
+	worker  *workerFate
+
+	// Activation-driven periodic state (SpawnPeriodic): the release period,
+	// the current/next release instant, the overrun skip count, and the
+	// detach flag raised while a finished body's goroutine leaves the
+	// scheduling loop (its thread lives on, so handoff must not park it).
+	periodic bool
+	period   rtime.Duration
+	nextRel  rtime.Time
+	missed   int
+	detached bool
 
 	// Consume state.
 	needCPU  rtime.Duration
@@ -328,9 +300,10 @@ func (ex *Exec) Threads() []*Thread {
 	return out
 }
 
-// Spawn creates a thread that becomes ready at startAt. The body runs in its
-// own goroutine but under the executive's scheduling discipline.
-func (ex *Exec) Spawn(name string, prio int, startAt rtime.Time, body func(tc *TC)) *Thread {
+// newThread constructs and registers a thread without starting or
+// scheduling it — the construction invariants shared by Spawn and
+// SpawnPeriodic (entity declaration, kernel-specific handoff state).
+func (ex *Exec) newThread(name string, prio int, body func(tc *TC)) *Thread {
 	th := &Thread{
 		ex:      ex,
 		name:    name,
@@ -347,6 +320,25 @@ func (ex *Exec) Spawn(name string, prio int, startAt rtime.Time, body func(tc *T
 	} else {
 		th.cond = sync.NewCond(&ex.mu)
 	}
+	return th
+}
+
+// scheduleFirstRelease makes th ready at startAt: immediately when due,
+// else sleeping behind a wake timer.
+func (ex *Exec) scheduleFirstRelease(th *Thread, startAt rtime.Time) {
+	if startAt <= ex.now {
+		ex.makeReady(th)
+	} else {
+		th.state = stateSleeping
+		th.wakeAt = startAt
+		ex.At(startAt, func() { ex.makeReady(th) })
+	}
+}
+
+// Spawn creates a thread that becomes ready at startAt. The body runs in its
+// own goroutine but under the executive's scheduling discipline.
+func (ex *Exec) Spawn(name string, prio int, startAt rtime.Time, body func(tc *TC)) *Thread {
+	th := ex.newThread(name, prio, body)
 	// In pooled mode the body is handed to a pool worker lazily, the first
 	// time the scheduler actually runs the thread (see handoff/runChannel);
 	// threads that never run never cost a goroutine.
@@ -358,13 +350,7 @@ func (ex *Exec) Spawn(name string, prio int, startAt rtime.Time, body func(tc *T
 			go th.directRun()
 		}
 	}
-	if startAt <= ex.now {
-		ex.makeReady(th)
-	} else {
-		th.state = stateSleeping
-		th.wakeAt = startAt
-		ex.At(startAt, func() { ex.makeReady(th) })
-	}
+	ex.scheduleFirstRelease(th, startAt)
 	return th
 }
 
@@ -471,6 +457,8 @@ func (ex *Exec) apply(req request) {
 			th.err = req.err
 			ex.errs = append(ex.errs, req.err)
 		}
+	case reqRearm:
+		ex.rearm(th)
 	}
 }
 

@@ -37,7 +37,8 @@ func (th *Thread) channelRun() {
 func (th *Thread) runPooledChannel() { th.channelBody() }
 
 // channelBody executes the body with the executive's panic discipline and
-// reports termination to the kernel loop.
+// reports termination — or, for an activation entity that completed
+// normally, the rearm for its next release — to the kernel loop.
 func (th *Thread) channelBody() {
 	defer func() {
 		var err error
@@ -52,18 +53,29 @@ func (th *Thread) channelBody() {
 			// unstarted thread.
 			th.ex.bodyFinished(th)
 		}
-		th.ex.reqCh <- request{th: th, kind: reqTerminate, err: err}
+		kind := reqTerminate
+		if th.periodic && err == nil && !th.ex.shutdown {
+			kind = reqRearm
+		}
+		th.ex.reqCh <- request{th: th, kind: kind, err: err}
 	}()
 	th.body(&TC{th: th})
 }
 
 // resume lets th execute user code to its next kernel call: waking its
-// parked goroutine, or — first time in pooled mode — handing the body to a
-// pool worker.
+// parked goroutine, or — for an unstarted body (pooled thread before first
+// dispatch, or an activation entity at a release) — dispatching the body
+// on a pool worker, or a fresh per-activation goroutine outside pooled
+// mode.
 func (ex *Exec) resume(th *Thread) {
 	if !th.started {
 		th.started = true
-		ex.startThread(th)
+		th.detached = false
+		if ex.pooled {
+			ex.startThread(th)
+		} else {
+			go th.channelBody()
+		}
 		return
 	}
 	th.resumeCh <- resumeMsg{}
@@ -210,8 +222,9 @@ func (ex *Exec) shutdownChannel() {
 			continue
 		}
 		if !th.started {
-			// Pooled mode: the body never ran, so there is no goroutine
-			// to unwind.
+			// No body in progress, so there is no goroutine to unwind: a
+			// pooled thread never dispatched, or an activation entity
+			// between releases (on any executive configuration).
 			th.state = stateDone
 			continue
 		}

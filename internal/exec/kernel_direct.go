@@ -47,7 +47,8 @@ func (th *Thread) directRun() {
 func (th *Thread) runPooledDirect() { th.directBody() }
 
 // directBody executes the body with the executive's panic discipline and
-// finishes the thread.
+// finishes the thread — or, for an activation entity that completed
+// normally, rearms it for the next release instead.
 func (th *Thread) directBody() {
 	var err error
 	func() {
@@ -60,7 +61,27 @@ func (th *Thread) directBody() {
 		}()
 		th.body(&TC{th: th})
 	}()
+	if th.periodic && err == nil && !th.ex.shutdown {
+		th.directRearm()
+		return
+	}
 	th.directFinish(err)
+}
+
+// directRearm ends one activation: the body just returned, so detach it
+// (this goroutine leaves, but the thread lives on to its next release),
+// rearm the release bookkeeping and keep scheduling until the token is
+// handed off — the activation analogue of directFinish.
+func (th *Thread) directRearm() {
+	ex := th.ex
+	th.detached = true
+	ex.rearm(th)
+	if ex.pooled {
+		// Declare this worker free (or retire it) before the token is
+		// handed on, exactly as directFinish does for a terminating body.
+		ex.bodyFinished(th)
+	}
+	ex.dispatch(th)
 }
 
 // directFinish terminates the thread: during a run it applies the terminate
@@ -140,17 +161,27 @@ func (ex *Exec) wakeMain() {
 }
 
 // handoff transfers the token from cur (nil for the Run goroutine) to next
-// and parks cur. A terminated cur hands off without parking: its goroutine
-// is about to exit. In pooled mode a thread that has never run is handed to
-// a pool worker instead of woken — it has no goroutine parked yet.
+// and parks cur. A terminated or detached cur hands off without parking:
+// its goroutine is about to exit (or return to the pool). A thread whose
+// body has not started — a pooled thread before its first dispatch, or an
+// activation entity at a release — is handed to a pool worker (or a fresh
+// per-activation goroutine outside pooled mode) instead of woken: it has
+// no goroutine parked yet.
 func (ex *Exec) handoff(cur, next *Thread) resumeMsg {
 	// Read our own state while we still hold the token: the instant next
 	// is woken (or handed to a pool worker) it may run kernel code that
 	// writes thread states concurrently with this goroutine's epilogue.
-	curDone := cur != nil && cur.state == stateDone
+	// (next may be cur itself — a detached activation re-released at the
+	// current instant — so capture before startThread clears the flag.)
+	curDone := cur != nil && (cur.state == stateDone || cur.detached)
 	if !next.started {
 		next.started = true
-		ex.startThread(next)
+		next.detached = false
+		if ex.pooled {
+			ex.startThread(next)
+		} else {
+			go next.directBody()
+		}
 	} else {
 		ex.wake(next)
 	}
@@ -270,9 +301,12 @@ func (ex *Exec) dispatch(cur *Thread) resumeMsg {
 			if debugChecks {
 				ex.checkReadyHeap()
 			}
-			if th == cur {
+			if th == cur && !cur.detached {
 				return resumeMsg{} // batched continuation: no handoff
 			}
+			// A detached cur re-picked at the same instant is NOT a
+			// continuation: its body already returned, so the next
+			// activation needs a fresh dispatch via handoff.
 			return ex.handoff(cur, th)
 		case phaseDraining:
 			// Zero-time work pending at the horizon instant (see runChannel).
@@ -282,7 +316,7 @@ func (ex *Exec) dispatch(cur *Thread) resumeMsg {
 				continue
 			}
 			ex.drainSteps++
-			if th == cur {
+			if th == cur && !cur.detached {
 				return resumeMsg{}
 			}
 			return ex.handoff(cur, th)
@@ -290,7 +324,9 @@ func (ex *Exec) dispatch(cur *Thread) resumeMsg {
 			if cur == nil {
 				return resumeMsg{} // Run goroutine: runDirect returns
 			}
-			curDone := cur.state == stateDone // read before the token moves
+			// Read before the token moves; a detached cur must not park —
+			// its goroutine is leaving while the thread sleeps on.
+			curDone := cur.state == stateDone || cur.detached
 			ex.wakeMain()
 			if curDone {
 				return resumeMsg{} // goroutine exits via directFinish
@@ -311,8 +347,9 @@ func (ex *Exec) shutdownDirect() {
 			continue
 		}
 		if !th.started {
-			// Pooled mode: the body never ran, so there is no goroutine
-			// to unwind.
+			// No body in progress, so there is no goroutine to unwind: a
+			// pooled thread never dispatched, or an activation entity
+			// between releases (on any executive configuration).
 			th.state = stateDone
 			continue
 		}

@@ -28,6 +28,14 @@ import "sync"
 // once free. If a start arrives while every worker is pinned, a fresh
 // worker is spawned regardless of the cap (refusing would deadlock the
 // executive); workers above the cap retire as soon as their body finishes.
+//
+// Fate plumbing: bodyFinished decides whether the finishing worker rejoins
+// the pool or retires, and records the verdict in the worker's own
+// workerFate struct (bound to the thread, under the pool mutex, for the
+// duration of one body). The fate cannot live on the Thread itself: an
+// activation entity's Thread is dispatched once per release, so a later
+// release's bodyFinished on another worker would race with this worker's
+// post-body read.
 type workerPool struct {
 	mu          sync.Mutex
 	cond        sync.Cond
@@ -70,6 +78,14 @@ func (ex *Exec) startThread(th *Thread) {
 	p.mu.Unlock()
 }
 
+// workerFate is a pool worker's per-body verdict, written by bodyFinished
+// (on the worker's own goroutine) and read by the worker after the body
+// returns. Each dispatch gets a fresh zero value.
+type workerFate struct {
+	retire  bool // bodyFinished dropped this worker from live; exit now
+	counted bool // bodyFinished already counted this worker in avail
+}
+
 // bodyFinished records that th's body returned and its worker is about to
 // rejoin the pool — or retire, when the pool is over its resident size.
 // Must be called in the worker's goroutine before the scheduling token is
@@ -77,13 +93,14 @@ func (ex *Exec) startThread(th *Thread) {
 func (ex *Exec) bodyFinished(th *Thread) {
 	p := &ex.pool
 	p.mu.Lock()
+	w := th.worker
 	if p.live > p.maxResident {
 		p.live--
-		th.poolRetire = true
+		w.retire = true
 		p.cond.Broadcast() // close() waits on live==0
 	} else {
 		p.avail++
-		th.poolCounted = true
+		w.counted = true
 	}
 	p.mu.Unlock()
 }
@@ -103,10 +120,18 @@ func (p *workerPool) close() {
 
 // poolWorker runs thread bodies until the pool closes or the worker is
 // retired as over-cap. counted tracks whether this worker is currently
-// included in p.avail.
+// included in p.avail. Each body dispatch binds a fresh fate struct to the
+// thread (under the pool mutex); a body that never reaches bodyFinished —
+// a thread killed during shutdown — leaves the zero fate, which makes the
+// worker re-count itself and then observe the closed pool.
 func (ex *Exec) poolWorker() {
 	p := &ex.pool
 	counted := true // startThread counted the spawn in avail
+	// One fate struct per worker, reset and re-bound per dispatch: only
+	// the worker currently running a body (and bodyFinished on its
+	// goroutine) touches it, so reuse is race-free and keeps the dispatch
+	// path allocation-free.
+	var fate workerFate
 	for {
 		p.mu.Lock()
 		if !counted {
@@ -126,6 +151,8 @@ func (ex *Exec) poolWorker() {
 		th := p.queue[0]
 		p.queue = p.queue[1:]
 		p.avail--
+		fate = workerFate{}
+		th.worker = &fate
 		p.mu.Unlock()
 		counted = false
 
@@ -135,9 +162,9 @@ func (ex *Exec) poolWorker() {
 			th.runPooledDirect()
 		}
 
-		if th.poolRetire {
+		if fate.retire {
 			return // bodyFinished already dropped it from live
 		}
-		counted = th.poolCounted
+		counted = fate.counted
 	}
 }

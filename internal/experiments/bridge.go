@@ -45,6 +45,13 @@ type ExecModel struct {
 	// worker pool (exec.Options.MaxGoroutines) instead of one goroutine
 	// per thread. Zero keeps the default goroutine-per-thread mode.
 	MaxGoroutines int
+	// PeriodicActivation lowers the workload's periodic threads onto the
+	// executive's activation-driven dispatch path
+	// (rtsjvm.VM.NewActivationThread): one body dispatch per release, no
+	// goroutine between releases. Schedules are identical to the default
+	// looping mode (pinned by TestExecutionTablesKernelIndependent); the
+	// difference is goroutine footprint on periodic-heavy workloads.
+	PeriodicActivation bool
 }
 
 // execOptions maps the model onto the executive configuration.
@@ -144,12 +151,18 @@ func runExecutionSink(sys sim.System, m ExecModel, horizon rtime.Time, sink trac
 	for i := range sys.Periodics {
 		pt := sys.Periodics[i]
 		pp := &rtsjvm.PeriodicParameters{Start: pt.Offset, Period: pt.Period, Cost: pt.Cost, Deadline: pt.Deadline}
-		vm.NewRealtimeThread(pt.Name, pt.Priority, pp, func(r *rtsjvm.RTC) {
-			for {
+		if m.PeriodicActivation {
+			vm.NewActivationThread(pt.Name, pt.Priority, pp, func(r *rtsjvm.RTC) {
 				r.Consume(pt.Cost)
-				r.WaitForNextPeriod()
-			}
-		})
+			})
+		} else {
+			vm.NewRealtimeThread(pt.Name, pt.Priority, pp, func(r *rtsjvm.RTC) {
+				for {
+					r.Consume(pt.Cost)
+					r.WaitForNextPeriod()
+				}
+			})
+		}
 	}
 
 	for i := range sys.Aperiodics {

@@ -29,17 +29,22 @@ func TestExecutionTablesKernelIndependent(t *testing.T) {
 			}
 			model := DefaultExecModel()
 			// The full executive configuration matrix: both kernels, each
-			// in goroutine-per-thread and pooled mode. channel/per-thread
-			// is the reference.
+			// in goroutine-per-thread, pooled and activation mode (the
+			// latter lowering periodic threads onto the activation dispatch
+			// path). channel/per-thread is the reference.
 			variants := []struct {
 				name          string
 				kernel        exec.Kernel
 				maxGoroutines int
+				activation    bool
 			}{
-				{"channel", exec.ChannelKernel, 0},
-				{"direct", exec.DirectKernel, 0},
-				{"channel-pooled", exec.ChannelKernel, 4},
-				{"direct-pooled", exec.DirectKernel, 4},
+				{"channel", exec.ChannelKernel, 0, false},
+				{"direct", exec.DirectKernel, 0, false},
+				{"channel-pooled", exec.ChannelKernel, 4, false},
+				{"direct-pooled", exec.DirectKernel, 4, false},
+				{"channel-activation", exec.ChannelKernel, 4, true},
+				{"direct-activation", exec.DirectKernel, 4, true},
+				{"direct-activation-perthread", exec.DirectKernel, 0, true},
 			}
 			for i, base := range systems {
 				sys := gen.WithServer(base, p, cfg.policy, 100)
@@ -58,6 +63,7 @@ func TestExecutionTablesKernelIndependent(t *testing.T) {
 					m := model
 					m.Kernel = v.kernel
 					m.MaxGoroutines = v.maxGoroutines
+					m.PeriodicActivation = v.activation
 					do, err := RunExecution(sys, m, p.Horizon())
 					if err != nil {
 						t.Fatal(err)

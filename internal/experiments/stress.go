@@ -34,6 +34,10 @@ type StressParams struct {
 	// goroutine-per-thread).
 	Kernel        exec.Kernel
 	MaxGoroutines int
+	// PeriodicActivation runs the background threads on the activation
+	// dispatch path (exec.SpawnPeriodic) instead of parked loops: same
+	// schedule, no pinned worker per background thread.
+	PeriodicActivation bool
 }
 
 // DefaultStressParams is the 10k-job configuration used by
@@ -95,12 +99,26 @@ func RunStress(p StressParams) (*StressResult, error) {
 	for i := 0; i < p.Background; i++ {
 		period := rtime.Duration(8+2*i) * rtime.TU
 		cost := rtime.Duration(4+i) * rtime.TU / 8
+		if p.PeriodicActivation {
+			ex.SpawnPeriodic(fmt.Sprintf("bg%d", i), 1,
+				exec.ActivationSpec{Period: period}, func(tc *exec.TC) {
+					tc.Consume(cost)
+					res.BackgroundRun++
+				})
+			continue
+		}
 		ex.Spawn(fmt.Sprintf("bg%d", i), 1, 0, func(tc *exec.TC) {
 			next := rtime.Time(0)
 			for {
 				tc.Consume(cost)
 				res.BackgroundRun++
+				// Skip releases the slice overran past, mirroring the
+				// activation path's (and WaitForNextPeriod's) overrun
+				// semantics so both modes schedule identically.
 				next = next.Add(period)
+				for next < tc.Now() {
+					next = next.Add(period)
+				}
 				tc.SleepUntil(next)
 			}
 		})

@@ -58,14 +58,18 @@ func TestStressSchedulesIdenticalAcrossConfigs(t *testing.T) {
 		name          string
 		kernel        exec.Kernel
 		maxGoroutines int
+		activation    bool
 	}{
-		{"direct", exec.DirectKernel, 0},
-		{"channel-pooled", exec.ChannelKernel, 8},
-		{"direct-pooled", exec.DirectKernel, 8},
+		{"direct", exec.DirectKernel, 0, false},
+		{"channel-pooled", exec.ChannelKernel, 8, false},
+		{"direct-pooled", exec.DirectKernel, 8, false},
+		{"channel-activation", exec.ChannelKernel, 8, true},
+		{"direct-activation", exec.DirectKernel, 8, true},
 	} {
 		q := p
 		q.Kernel = cfg.kernel
 		q.MaxGoroutines = cfg.maxGoroutines
+		q.PeriodicActivation = cfg.activation
 		got, err := RunStress(q)
 		if err != nil {
 			t.Fatalf("%s: %v", cfg.name, err)

@@ -19,9 +19,13 @@ type ReleaseParameters interface {
 
 // PeriodicParameters mirrors javax.realtime.PeriodicParameters.
 type PeriodicParameters struct {
-	Start    rtime.Time
-	Period   rtime.Duration
-	Cost     rtime.Duration
+	// Start is the first release instant.
+	Start rtime.Time
+	// Period is the release period.
+	Period rtime.Duration
+	// Cost is the declared worst-case execution time per release.
+	Cost rtime.Duration
+	// Deadline is the relative deadline; 0 means deadline = period.
 	Deadline rtime.Duration
 }
 
@@ -43,7 +47,9 @@ func (p *PeriodicParameters) ReleasePeriod() rtime.Duration { return p.Period }
 // with no arrival bound, which is why the RTSJ cannot include plain
 // aperiodic handlers in feasibility analysis (Section 3 of the paper).
 type AperiodicParameters struct {
-	Cost     rtime.Duration
+	// Cost is the declared worst-case execution time per release.
+	Cost rtime.Duration
+	// Deadline is the relative deadline; 0 means none.
 	Deadline rtime.Duration
 }
 
@@ -61,6 +67,7 @@ func (p *AperiodicParameters) ReleasePeriod() rtime.Duration { return 0 }
 // at the worst-case occurring frequency.
 type SporadicParameters struct {
 	AperiodicParameters
+	// MinInterarrival is the minimum time between consecutive releases.
 	MinInterarrival rtime.Duration
 }
 
@@ -76,10 +83,16 @@ func (p *SporadicParameters) ReleasePeriod() rtime.Duration { return p.MinIntera
 // useless". Construct with Enforcing=false to reproduce the reference
 // implementation's behaviour, where the group budget has no effect at all.
 type ProcessingGroupParameters struct {
-	vm        *VM
-	Start     rtime.Time
-	Period    rtime.Duration
-	Cost      rtime.Duration
+	vm *VM
+	// Start anchors the replenishment grid.
+	Start rtime.Time
+	// Period is the replenishment period of the group budget.
+	Period rtime.Duration
+	// Cost is the group budget per period.
+	Cost rtime.Duration
+	// Enforcing selects whether the VM implements cost enforcement (an
+	// optional RTSJ feature); without it the budget is tracked but never
+	// acted upon.
 	Enforcing bool
 
 	curPeriod int64

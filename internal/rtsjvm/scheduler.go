@@ -30,12 +30,19 @@ type InterferenceProvider interface {
 // FeasibilityResult is the per-schedulable outcome of the scheduler's
 // analysis.
 type FeasibilityResult struct {
-	Name       string
-	Priority   int
-	Analyzable bool // false for unbounded aperiodic releases
-	R          rtime.Duration
-	Deadline   rtime.Duration
-	Feasible   bool
+	// Name identifies the schedulable.
+	Name string
+	// Priority is the schedulable's fixed priority.
+	Priority int
+	// Analyzable is false for unbounded aperiodic releases (and for tasks
+	// with such a release above them).
+	Analyzable bool
+	// R is the computed worst-case response time.
+	R rtime.Duration
+	// Deadline is the effective relative deadline the analysis used.
+	Deadline rtime.Duration
+	// Feasible reports whether the analysis converged with R <= Deadline.
+	Feasible bool
 }
 
 // PriorityScheduler mirrors javax.realtime.PriorityScheduler, holding the

@@ -6,13 +6,18 @@ import (
 )
 
 // RealtimeThread mirrors javax.realtime.RealtimeThread: a fixed-priority
-// thread, optionally with periodic release parameters.
+// thread, optionally with periodic release parameters. It is created in
+// one of two emulation modes: the classic looping mode (NewRealtimeThread,
+// the body parks in WaitForNextPeriod between releases) or activation mode
+// (NewActivationThread, the body is dispatched once per release and owns
+// no goroutine in between).
 type RealtimeThread struct {
-	vm   *VM
-	name string
-	prio int
-	pp   *PeriodicParameters
-	th   *exec.Thread
+	vm         *VM
+	name       string
+	prio       int
+	pp         *PeriodicParameters
+	th         *exec.Thread
+	activation bool
 }
 
 // RTC is the context passed to a realtime thread's body; it extends the
@@ -21,7 +26,10 @@ type RTC struct {
 	*exec.TC
 	rt   *RealtimeThread
 	next rtime.Time
-	// Missed counts skipped activations (deadline-miss style overruns).
+	// Missed counts skipped activations (deadline-miss style overruns). In
+	// looping mode it accumulates as WaitForNextPeriod skips releases; in
+	// activation mode each body receives the entity's total skip count at
+	// release time (exec.Thread.MissedActivations).
 	Missed int
 }
 
@@ -40,6 +48,43 @@ func (vm *VM) NewRealtimeThread(name string, prio int, pp *PeriodicParameters, b
 	})
 	return rt
 }
+
+// NewActivationThread creates a periodic realtime thread in activation
+// mode: body runs once per release, dispatched by the executive's
+// activation path (exec.SpawnPeriodic) on a pool worker when the VM runs
+// pooled (exec.Options.MaxGoroutines > 0), so the thread owns no goroutine
+// between releases. Returning from body is the activation-mode
+// WaitForNextPeriod: if the body overran past one or more releases, those
+// activations are skipped and counted (RTC.Missed), exactly as the looping
+// mode's WaitForNextPeriod would have — the two modes are
+// schedule-identical (pinned by TestPeriodicModeDiffCorpus).
+//
+// pp must carry a positive Period. Calling WaitForNextPeriod inside an
+// activation body panics: the release boundary is the body return.
+func (vm *VM) NewActivationThread(name string, prio int, pp *PeriodicParameters, body func(*RTC)) *RealtimeThread {
+	if pp == nil || pp.Period <= 0 {
+		panic("rtsjvm: NewActivationThread needs periodic parameters with a positive period")
+	}
+	rt := &RealtimeThread{vm: vm, name: name, prio: prio, pp: pp, activation: true}
+	start := vm.ex.Now()
+	if pp.Start > start {
+		start = pp.Start
+	}
+	rt.th = vm.ex.SpawnPeriodic(name, prio, exec.ActivationSpec{Start: start, Period: pp.Period},
+		func(tc *exec.TC) {
+			body(&RTC{
+				TC:     tc,
+				rt:     rt,
+				next:   tc.Thread().CurrentRelease(),
+				Missed: tc.Thread().MissedActivations(),
+			})
+		})
+	return rt
+}
+
+// Activation reports whether the thread runs in activation mode
+// (NewActivationThread) rather than the classic looping mode.
+func (rt *RealtimeThread) Activation() bool { return rt.activation }
 
 // Thread exposes the underlying executive thread.
 func (rt *RealtimeThread) Thread() *exec.Thread { return rt.th }
@@ -66,6 +111,9 @@ func (rt *RealtimeThread) SchedulableRelease() ReleaseParameters {
 func (r *RTC) WaitForNextPeriod() bool {
 	if r.rt.pp == nil || r.rt.pp.Period <= 0 {
 		panic("rtsjvm: WaitForNextPeriod on a non-periodic thread")
+	}
+	if r.rt.activation {
+		panic("rtsjvm: WaitForNextPeriod inside an activation-mode body (return from the body instead)")
 	}
 	r.next = r.next.Add(r.rt.pp.Period)
 	onTime := true

@@ -1,15 +1,3 @@
-// Package rtsjvm emulates the Real-Time Specification for Java API surface
-// the paper's framework is built on: realtime threads with periodic release
-// parameters, asynchronous events and handlers, timers, interruptible timed
-// sections, processing group parameters and a priority scheduler with a
-// feasibility set.
-//
-// The emulation runs on the virtual-time executive (internal/exec) instead
-// of a real RTSJ VM on a real-time kernel. The VM charges explicit,
-// configurable overheads for the operations whose hidden costs drive the
-// paper's measured results: timer firings (the paper notes the timers that
-// fire asynchronous events are the real highest-priority tasks in the
-// system), event releases, and server dispatching.
 package rtsjvm
 
 import (

@@ -75,9 +75,12 @@ func (k EventKind) marker() byte {
 // the processor. Label optionally names the work performed (for a server,
 // the handler being served).
 type Segment struct {
-	Entity     string
+	// Entity names the trace row (the thread or task that ran).
+	Entity string
+	// Start and End delimit the half-open execution interval.
 	Start, End rtime.Time
-	Label      string
+	// Label optionally names the work performed.
+	Label string
 }
 
 // Dur returns the segment length.
@@ -85,10 +88,14 @@ func (s Segment) Dur() rtime.Duration { return s.End.Sub(s.Start) }
 
 // Event is a point event attached to an entity's row.
 type Event struct {
+	// Entity names the trace row the event belongs to.
 	Entity string
-	At     rtime.Time
-	Kind   EventKind
-	Label  string
+	// At is the event instant.
+	At rtime.Time
+	// Kind classifies the event (release, completion, interruption, ...).
+	Kind EventKind
+	// Label optionally annotates the event.
+	Label string
 }
 
 // Sink receives schedule recordings from an engine. *Trace is the
@@ -120,8 +127,10 @@ func (Nop) Mark(string, rtime.Time, EventKind, string) {}
 // ready to use. Trace is not safe for concurrent use; both engines are
 // single-threaded at the points where they record.
 type Trace struct {
+	// Segments is every execution interval, in recording order.
 	Segments []Segment
-	Events   []Event
+	// Events is every point event, in recording order.
+	Events []Event
 
 	order map[string]int
 	names []string
