@@ -16,6 +16,15 @@
 //
 //	go run ./cmd/benchgate -update
 //
+// A/B mode sidesteps the committed baseline entirely: `-ab <ref>` checks the
+// given git ref out into a throwaway worktree, measures its benchmarks on
+// this same runner in this same session, and gates HEAD against that
+// measurement. Both sides then share the machine, load and toolchain, so no
+// cross-machine calibration is involved — use it to judge a perf-sensitive
+// change before updating the committed baseline:
+//
+//	go run ./cmd/benchgate -ab origin/main
+//
 // Every snapshot also records a calibration measurement (a fixed integer
 // spin workload); when both sides carry one, the gate compares
 // speed-normalized ratios, so the committed baseline transfers across
@@ -30,6 +39,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"sort"
 	"strconv"
@@ -95,10 +105,14 @@ func main() {
 		update    = flag.Bool("update", false, "rewrite the baseline from this run instead of gating")
 		input     = flag.String("input", "", "parse an existing go test -bench output file instead of running benchmarks")
 		retries   = flag.Int("retries", 2, "times to re-measure benchmarks that look regressed before failing")
+		ab        = flag.String("ab", "", "git ref to measure as the baseline on this same runner (A/B mode); overrides -baseline")
 	)
 	flag.Parse()
+	if *ab != "" && (*update || *input != "") {
+		fatal(fmt.Errorf("-ab measures both sides itself; it cannot be combined with -update or -input"))
+	}
 
-	snap, err := collect(*bench, *benchtime, *count, *pkg, *input)
+	snap, err := collect(*bench, *benchtime, *count, *pkg, *input, "")
 	if err != nil {
 		fatal(err)
 	}
@@ -120,9 +134,17 @@ func main() {
 		return
 	}
 
-	base, err := readJSON(*baseline)
-	if err != nil {
-		fatal(fmt.Errorf("no usable baseline at %s (%v); run `go run ./cmd/benchgate -update` to create one", *baseline, err))
+	var base *Snapshot
+	if *ab != "" {
+		base, err = collectAtRef(*ab, *bench, *benchtime, *count, *pkg)
+		if err != nil {
+			fatal(fmt.Errorf("A/B baseline at %s: %w", *ab, err))
+		}
+	} else {
+		base, err = readJSON(*baseline)
+		if err != nil {
+			fatal(fmt.Errorf("no usable baseline at %s (%v); run `go run ./cmd/benchgate -update` to create one", *baseline, err))
+		}
 	}
 
 	// A minimum can still be inflated when an interference burst covers a
@@ -139,7 +161,7 @@ func main() {
 			break
 		}
 		fmt.Printf("benchgate: re-measuring %d contested benchmark(s), retry %d\n", len(contested), retry+1)
-		again, err := collect("^("+strings.Join(contested, "|")+")$", *benchtime, *count, *pkg, "")
+		again, err := collect("^("+strings.Join(contested, "|")+")$", *benchtime, *count, *pkg, "", "")
 		if err != nil {
 			// Every contested benchmark may be gone from the package (the
 			// rename/delete case): nothing to re-measure, let the gate
@@ -235,7 +257,9 @@ func regressions(base, cur *Snapshot, threshold float64) []string {
 // Each benchmark runs in its own `go test` process: a fresh heap per
 // benchmark makes the minimum reproducible (in a shared process, a
 // benchmark's cost drifts with the garbage earlier benchmarks left behind).
-func collect(bench, benchtime string, count int, pkg, input string) (*Snapshot, error) {
+// A non-empty dir runs the benchmarks from that directory (the A/B
+// worktree) instead of the current one.
+func collect(bench, benchtime string, count int, pkg, input, dir string) (*Snapshot, error) {
 	var raw []byte
 	var err error
 	if input != "" {
@@ -244,7 +268,7 @@ func collect(bench, benchtime string, count int, pkg, input string) (*Snapshot, 
 			return nil, err
 		}
 	} else {
-		names, err := listBenchmarks(bench, pkg)
+		names, err := listBenchmarks(bench, pkg, dir)
 		if err != nil {
 			return nil, err
 		}
@@ -253,6 +277,7 @@ func collect(bench, benchtime string, count int, pkg, input string) (*Snapshot, 
 				"-benchtime", benchtime, "-count", strconv.Itoa(count), pkg}
 			fmt.Printf("benchgate: go %v\n", args)
 			cmd := exec.Command("go", args...)
+			cmd.Dir = dir
 			cmd.Stderr = os.Stderr
 			out, err := cmd.Output()
 			if err != nil {
@@ -344,9 +369,45 @@ func gate(base, cur *Snapshot, threshold float64) (failed bool) {
 	return failed
 }
 
-// listBenchmarks enumerates the top-level benchmarks matching re in pkg.
-func listBenchmarks(re, pkg string) ([]string, error) {
+// collectAtRef measures the benchmarks of another git ref on this same
+// runner: the ref is checked out into a throwaway detached worktree, the
+// full collect pipeline runs there, and the worktree is removed again. The
+// returned snapshot is the A/B baseline — same machine, same load, same
+// toolchain as the HEAD measurement, so the gate's speed normalization is a
+// near no-op and the comparison isolates the code change itself.
+func collectAtRef(ref, bench, benchtime string, count int, pkg string) (*Snapshot, error) {
+	tmp, err := os.MkdirTemp("", "benchgate-ab-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	wt := filepath.Join(tmp, "wt")
+	add := exec.Command("git", "worktree", "add", "--detach", wt, ref)
+	add.Stderr = os.Stderr
+	if err := add.Run(); err != nil {
+		return nil, fmt.Errorf("git worktree add %s: %w", ref, err)
+	}
+	defer func() {
+		rm := exec.Command("git", "worktree", "remove", "--force", wt)
+		rm.Stderr = os.Stderr
+		if err := rm.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: cleanup of A/B worktree %s failed: %v\n", wt, err)
+		}
+	}()
+	fmt.Printf("benchgate: measuring A/B baseline at %s (worktree %s)\n", ref, wt)
+	snap, err := collect(bench, benchtime, count, pkg, "", wt)
+	if err != nil {
+		return nil, err
+	}
+	snap.Date = ref // the gate's verdict line names the baseline by its ref
+	return snap, nil
+}
+
+// listBenchmarks enumerates the top-level benchmarks matching re in pkg,
+// run from dir when non-empty.
+func listBenchmarks(re, pkg, dir string) ([]string, error) {
 	cmd := exec.Command("go", "test", "-run", "^$", "-list", re, pkg)
+	cmd.Dir = dir
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()
 	if err != nil {

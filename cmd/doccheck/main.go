@@ -4,6 +4,9 @@
 //   - every exported identifier (types, funcs, methods, consts, vars and
 //     exported struct fields) in the audited packages must carry a doc
 //     comment;
+//   - the doc comment of an exported func, method, type, const or var must
+//     begin with the identifier it documents (types may lead with "A", "An"
+//     or "The"), per standard Go doc style; struct fields are exempt;
 //   - every relative link in the audited markdown files must resolve to an
 //     existing file or directory.
 //
@@ -28,7 +31,7 @@ import (
 )
 
 func main() {
-	pkgs := flag.String("pkgs", "internal/exec,internal/rtsjvm,internal/trace,internal/harness",
+	pkgs := flag.String("pkgs", "internal/core,internal/exec,internal/rtsjvm,internal/trace,internal/harness",
 		"comma-separated package directories to check for missing doc comments")
 	md := flag.String("md", "README.md,docs",
 		"comma-separated markdown files or directories to link-check")
@@ -96,6 +99,9 @@ func checkPackageDocs(dir string) ([]string, error) {
 					}
 					if d.Doc == nil {
 						report(d.Pos(), "exported %s %s has no doc comment", funcKind(d), funcName(d))
+					} else if !docStartsWith(d.Doc, d.Name.Name, false) {
+						report(d.Doc.Pos(), "doc comment for %s %s should start with %q",
+							funcKind(d), funcName(d), d.Name.Name)
 					}
 				case *ast.GenDecl:
 					checkGenDecl(d, report)
@@ -160,8 +166,17 @@ func checkGenDecl(d *ast.GenDecl, report func(pos token.Pos, format string, args
 			if !s.Name.IsExported() {
 				continue
 			}
+			// The effective doc: the spec's own, or for a single-spec decl
+			// the decl's (the usual "// Foo is ..." above "type Foo ...").
+			doc := s.Doc
+			if doc == nil && len(d.Specs) == 1 {
+				doc = d.Doc
+			}
 			if s.Doc == nil && d.Doc == nil {
 				report(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+			} else if doc != nil && !docStartsWith(doc, s.Name.Name, true) {
+				report(doc.Pos(), "doc comment for type %s should start with %q (optionally after A/An/The)",
+					s.Name.Name, s.Name.Name)
 			}
 			if st, ok := s.Type.(*ast.StructType); ok {
 				checkStructFields(s.Name.Name, st, report)
@@ -177,8 +192,45 @@ func checkGenDecl(d *ast.GenDecl, report func(pos token.Pos, format string, args
 					report(name.Pos(), "exported %s %s has no doc comment", d.Tok, name.Name)
 				}
 			}
+			// The identifier-first style applies only where the doc
+			// unambiguously documents a single name: a spec-level doc on a
+			// one-name spec, or a decl-level doc on a one-spec one-name
+			// decl. Group docs ("// Sizing knobs." over a const block) and
+			// trailing line comments are exempt.
+			if len(s.Names) == 1 && s.Names[0].IsExported() {
+				doc := s.Doc
+				if doc == nil && len(d.Specs) == 1 {
+					doc = d.Doc
+				}
+				if doc != nil && !docStartsWith(doc, s.Names[0].Name, false) {
+					report(doc.Pos(), "doc comment for %s %s should start with %q",
+						d.Tok, s.Names[0].Name, s.Names[0].Name)
+				}
+			}
 		}
 	}
+}
+
+// docStartsWith reports whether the doc comment's first word is the
+// identifier name, per standard Go doc style. Types (allowArticle) may lead
+// with "A", "An" or "The"; a "Deprecated:" opener is always accepted.
+func docStartsWith(doc *ast.CommentGroup, name string, allowArticle bool) bool {
+	text := strings.TrimSpace(doc.Text())
+	if text == "" {
+		return false
+	}
+	fields := strings.Fields(text)
+	if fields[0] == "Deprecated:" {
+		return true
+	}
+	if allowArticle && len(fields) > 1 {
+		switch fields[0] {
+		case "A", "An", "The":
+			fields = fields[1:]
+		}
+	}
+	return fields[0] == name || strings.HasPrefix(fields[0], name+"'") ||
+		strings.TrimRight(fields[0], ".,:;") == name
 }
 
 func checkStructFields(typeName string, st *ast.StructType, report func(pos token.Pos, format string, args ...any)) {

@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"rtsj/internal/experiments"
+	"rtsj/internal/faults"
 	"rtsj/internal/metrics"
 	"rtsj/internal/rtime"
 	"rtsj/internal/sim"
@@ -46,6 +47,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	quiet := fs.Bool("quiet", false, "suppress the gantt chart, print metrics only")
 	csvOut := fs.String("csv", "", "write the simulation trace as CSV to this file")
 	jsonOut := fs.String("json", "", "write the simulation trace as JSON to this file")
+	faultsFlag := fs.String("faults", "", "fault plan (e.g. 'seed=1 overrun=0.2:0.5'); overrides the file's faults directive; 'off' disables")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h: usage already printed, exit 0
@@ -66,6 +68,18 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *faultsFlag != "" {
+		plan, err := faults.Parse(*faultsFlag)
+		if err != nil {
+			return err
+		}
+		parsed.Faults = plan
+	}
+	// A fault plan rewrites the aperiodic workload (drops, jitter, cost
+	// overruns) before either engine sees it; with no plan (or 'off') the
+	// system is untouched and the output is byte-identical to a fault-free
+	// build.
+	parsed.System = parsed.Faults.ApplySystem(parsed.System, 0)
 	colw, err := rtime.ParseDuration(*scale)
 	if err != nil {
 		return err

@@ -1,8 +1,16 @@
-// Command scenarios regenerates the paper's worked examples: the Table 1
-// task set under the three firing scenarios of Figures 2-4, rendered as
-// ASCII temporal diagrams. For each scenario it shows the framework
-// execution (what the figures depict) and the ideal literature-policy
-// simulation the paper contrasts in the text.
+// Command scenarios regenerates the paper's worked examples and the
+// robustness overload family.
+//
+// The default family ("figures") renders the Table 1 task set under the
+// three firing scenarios of Figures 2-4 as ASCII temporal diagrams: the
+// framework execution (what the figures depict) and the ideal
+// literature-policy simulation the paper contrasts in the text.
+//
+// The "overload" family runs the deterministic overload scenarios
+// (internal/experiments.RunOverload): miss-storm, transient and
+// saturation. It exits non-zero if any invariant is violated or if the
+// miss-storm's hard periodic set misses a deadline — the graceful-
+// degradation property CI smokes with a 10k-event burst.
 package main
 
 import (
@@ -10,14 +18,23 @@ import (
 	"fmt"
 	"os"
 
+	"rtsj/internal/exec"
 	"rtsj/internal/experiments"
+	"rtsj/internal/faults"
 	"rtsj/internal/harness"
 )
 
 func main() {
-	n := flag.Int("scenario", 0, "scenario to run (1-3); 0 for all")
-	ideal := flag.Bool("ideal", true, "also show the ideal (literature) polling server schedule")
+	family := flag.String("family", "figures", "scenario family: figures | overload")
+	scenario := flag.String("scenario", "", "scenario to run: figures 1-3, overload miss-storm|transient|saturation; empty for all")
+	ideal := flag.Bool("ideal", true, "figures: also show the ideal (literature) polling server schedule")
 	workers := flag.Int("workers", 0, "harness worker pool size (0: $RTSJ_WORKERS or GOMAXPROCS)")
+	events := flag.Int("n", 0, "overload: approximate aperiodic event count (0: scenario default)")
+	seed := flag.Int64("seed", 0, "overload: workload seed (0: scenario default)")
+	faultsFlag := flag.String("faults", "", "overload: extra fault plan (e.g. 'seed=1 overrun=0.3:0.5'); 'off' or empty for none")
+	pooled := flag.Int("pooled", 0, "overload: run pooled with this many workers (0: goroutine per thread)")
+	activation := flag.Bool("activation", false, "overload: activation-driven periodic dispatch")
+	quiet := flag.Bool("quiet", false, "overload: one summary line per scenario")
 	flag.Parse()
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "scenarios: -workers must be >= 0 (got %d)\n", *workers)
@@ -25,9 +42,28 @@ func main() {
 	}
 	harness.SetWorkers(*workers)
 
+	switch *family {
+	case "figures":
+		n := 0
+		if *scenario != "" {
+			if _, err := fmt.Sscanf(*scenario, "%d", &n); err != nil || n < 1 || n > 3 {
+				fmt.Fprintf(os.Stderr, "scenarios: figures scenario must be 1-3 (got %q)\n", *scenario)
+				os.Exit(2)
+			}
+		}
+		runFigures(n, *ideal)
+	case "overload":
+		runOverload(*scenario, *events, *seed, *faultsFlag, *pooled, *activation, *quiet)
+	default:
+		fmt.Fprintf(os.Stderr, "scenarios: unknown family %q (want figures or overload)\n", *family)
+		os.Exit(2)
+	}
+}
+
+func runFigures(n int, ideal bool) {
 	nums := []int{1, 2, 3}
-	if *n != 0 {
-		nums = []int{*n}
+	if n != 0 {
+		nums = []int{n}
 	}
 	fmt.Println("Task set (Table 1): PS(prio hi, C=3, T=6), tau1(med, C=2, T=6), tau2(lo, C=1, T=6)")
 	fmt.Println("Handlers: h1 cost 2, h2 cost 2 (scenario 3: declared 1, actual 2)")
@@ -43,7 +79,7 @@ func main() {
 		fmt.Printf("e1 fired at %v, e2 at %v — %s\n\n", fig.Scenario.Fire1, fig.Scenario.Fire2, fig.Scenario.Caption)
 		fmt.Println("Framework execution:")
 		fmt.Println(fig.ExecGantt)
-		if *ideal {
+		if ideal {
 			fmt.Println("Ideal polling server (RTSS simulation):")
 			fmt.Println(fig.IdealGantt)
 		}
@@ -51,5 +87,61 @@ func main() {
 			fmt.Println("  " + e)
 		}
 		fmt.Println()
+	}
+}
+
+func runOverload(scenario string, events int, seed int64, faultsFlag string, pooled int, activation bool, quiet bool) {
+	plan, err := faults.Parse(faultsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenarios: -faults: %v\n", err)
+		os.Exit(2)
+	}
+	names := experiments.OverloadScenarios()
+	if scenario != "" {
+		names = []string{scenario}
+	}
+	failed := false
+	for _, name := range names {
+		p := experiments.DefaultOverloadParams(name)
+		p.Events = events
+		p.Seed = seed
+		p.Faults = plan
+		p.Kernel = exec.DirectKernel
+		p.MaxGoroutines = pooled
+		p.PeriodicActivation = activation
+		r, err := experiments.RunOverload(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenarios: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if quiet {
+			fmt.Printf("%-11s events=%d served=%d interrupted=%d shed=%d pending=%d periodic=%d/%d-missed floor=%v fp=%#x\n",
+				name, r.Events, r.Served, r.Interrupted, r.Shed, r.Pending,
+				r.PeriodicReleases, r.PeriodicMisses, r.CapacityFloor, r.Fingerprint)
+		} else {
+			fmt.Printf("=== Overload scenario %q ===\n", name)
+			fmt.Printf("aperiodics: %d generated, %d released, %d served, %d interrupted, %d shed, %d pending at horizon\n",
+				r.Events, r.Released, r.Served, r.Interrupted, r.Shed, r.Pending)
+			fmt.Printf("hard periodics: %d releases, %d deadline misses\n", r.PeriodicReleases, r.PeriodicMisses)
+			fmt.Printf("capacity floor: %v  final time: %v  fingerprint: %#x\n", r.CapacityFloor, r.FinalTime, r.Fingerprint)
+			fmt.Println()
+		}
+		// Graceful degradation is the contract: invariants hold and the
+		// hard periodic set never misses while the server sheds.
+		for _, v := range r.Violations {
+			fmt.Fprintf(os.Stderr, "scenarios: %s: INVARIANT: %s\n", name, v)
+			failed = true
+		}
+		if r.PeriodicMisses > 0 {
+			fmt.Fprintf(os.Stderr, "scenarios: %s: %d hard periodic deadline misses\n", name, r.PeriodicMisses)
+			failed = true
+		}
+		if name == experiments.OverloadMissStorm && r.Shed == 0 {
+			fmt.Fprintf(os.Stderr, "scenarios: %s: shed nothing (storm not overloading)\n", name)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }

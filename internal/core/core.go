@@ -30,6 +30,7 @@ import (
 	"rtsj/internal/exec"
 	"rtsj/internal/rtime"
 	"rtsj/internal/rtsjvm"
+	"rtsj/internal/trace"
 )
 
 // TaskServerParameters is the ReleaseParameters subclass used to construct
@@ -64,22 +65,48 @@ type TaskServer interface {
 	Records() []*EventRecord
 	// Params returns the server's construction parameters.
 	Params() *TaskServerParameters
+	// PendingCount returns the number of queued releases.
+	PendingCount() int
+	// SetMaxPending bounds the pending queue for graceful degradation
+	// under overload: releases arriving at a full queue are shed (see
+	// EventRecord.Shed). Zero, the default, keeps the queue unbounded.
+	SetMaxPending(n int)
+	// ShedCount returns how many releases load shedding has dropped.
+	ShedCount() int
+	// SetClampCapacity makes the server clamp its capacity at zero after
+	// every charge, for policies (the Deferrable Server's budget-extension
+	// rule) whose capacity may otherwise transiently go negative.
+	SetClampCapacity(on bool)
+	// CapacityFloor returns the lowest capacity value observed after any
+	// charge or replenishment (<= 0; a negative floor means the capacity
+	// dipped below zero at some point).
+	CapacityFloor() rtime.Duration
 }
 
 // EventRecord measures one servable-event release, the unit of the paper's
 // evaluation metrics (response times, served ratio, interrupted ratio).
 type EventRecord struct {
-	Handler  string
+	// Handler names the handler the event was bound to.
+	Handler string
+	// Released is the instant the event fired.
 	Released rtime.Time
-	Started  rtime.Time
+	// Started is the instant the handler first ran for this release.
+	Started rtime.Time
+	// Finished is the instant the handler completed (served events only).
 	Finished rtime.Time
 
-	Served      bool
+	// Served is set when the handler ran to completion.
+	Served bool
+	// Interrupted is set when the handler was cut off by budget exhaustion.
 	Interrupted bool
 	// Rejected is set when on-line admission control cancelled the event
 	// at its release: the predicted response time exceeded the event's
 	// deadline (the cancellation Section 7 anticipates).
 	Rejected bool
+	// Shed is set when the server dropped the release at registration
+	// because its pending queue was full (SetMaxPending): load shedding
+	// under overload. A shed release is never queued or served.
+	Shed bool
 	// Predicted is the on-line response-time estimate of Section 7
 	// (admission-queue servers only; 0 otherwise).
 	Predicted rtime.Duration
@@ -200,7 +227,7 @@ type release struct {
 	rec *EventRecord
 }
 
-// serverCore is the state shared by both server policies.
+// serverCore is the state shared by the server policies.
 type serverCore struct {
 	vm      *rtsjvm.VM
 	name    string
@@ -210,6 +237,14 @@ type serverCore struct {
 	records []*EventRecord
 
 	capacity rtime.Duration
+
+	// Overload-degradation state: the pending bound (0 = unbounded), the
+	// shed count, the clamp-at-zero flag and the lowest capacity value
+	// ever observed (the "capacity never negative" invariant input).
+	maxPending int
+	shed       int
+	clamp      bool
+	capFloor   rtime.Duration
 }
 
 func newServerCore(vm *rtsjvm.VM, name string, prio int, params *TaskServerParameters) serverCore {
@@ -237,8 +272,43 @@ func (s *serverCore) Records() []*EventRecord { return s.records }
 // Capacity returns the remaining capacity (for inspection/tests).
 func (s *serverCore) Capacity() rtime.Duration { return s.capacity }
 
+// SetMaxPending implements TaskServer.
+func (s *serverCore) SetMaxPending(n int) { s.maxPending = n }
+
+// ShedCount implements TaskServer.
+func (s *serverCore) ShedCount() int { return s.shed }
+
+// SetClampCapacity implements TaskServer.
+func (s *serverCore) SetClampCapacity(on bool) { s.clamp = on }
+
+// CapacityFloor implements TaskServer.
+func (s *serverCore) CapacityFloor() rtime.Duration { return s.capFloor }
+
+// chargeCapacity subtracts a service charge from the capacity, applying
+// the clamp-at-zero policy if enabled, and tracks the capacity floor.
+func (s *serverCore) chargeCapacity(elapsed rtime.Duration) {
+	s.capacity -= elapsed
+	s.noteCapacity()
+	if s.clamp && s.capacity < 0 {
+		s.capacity = 0
+	}
+}
+
+// noteCapacity records the capacity low-water mark. Call after every
+// capacity mutation, before any clamping, so CapacityFloor reports
+// excursions below zero even when the clamp hides them.
+func (s *serverCore) noteCapacity() {
+	if s.capacity < s.capFloor {
+		s.capFloor = s.capacity
+	}
+}
+
 // register appends a fired handler to the pending list (FIFO), recording
 // its release, and charges the release overhead to the firing context.
+// When the pending queue is at its bound (SetMaxPending), the release is
+// shed instead: recorded (with Shed set, and a shed trace mark) but never
+// queued — register returns nil and the caller must not wake the server
+// for it.
 func (s *serverCore) register(tc *exec.TC, h *ServableAsyncEventHandler) *release {
 	// The release instant is the fire instant: the registration overhead
 	// charged below is part of the event's measured response time (the
@@ -247,6 +317,13 @@ func (s *serverCore) register(tc *exec.TC, h *ServableAsyncEventHandler) *releas
 	rec := &EventRecord{Handler: h.name, Released: tc.Now()}
 	if oh := s.vm.Overheads().EventRelease; oh > 0 {
 		tc.Consume(oh)
+	}
+	if s.maxPending > 0 && len(s.pending) >= s.maxPending {
+		rec.Shed = true
+		s.shed++
+		s.records = append(s.records, rec)
+		s.vm.Exec().Sink().Mark(s.name, tc.Now(), trace.Shed, h.name)
+		return nil
 	}
 	rel := &release{h: h, rec: rec}
 	s.records = append(s.records, rec)

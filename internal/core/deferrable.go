@@ -52,9 +52,12 @@ func NewDeferrableTaskServer(vm *rtsjvm.VM, name string, prio int, params *TaskS
 }
 
 // ServableEventReleased implements TaskServer: register the handler and
-// wake the server if it is idle.
+// wake the server if it is idle. A shed release (register returned nil)
+// never wakes the server.
 func (s *DeferrableTaskServer) ServableEventReleased(tc *exec.TC, h *ServableAsyncEventHandler) {
-	s.register(tc, h)
+	if s.register(tc, h) == nil {
+		return
+	}
 	if !s.running {
 		s.wakeUp.Fire(tc)
 	}
@@ -113,8 +116,11 @@ func (s *DeferrableTaskServer) runOnce(tc *exec.TC) {
 		// Plain wall-clock accounting, as the Java implementation's
 		// "measure the time passed in the run method and decrease the
 		// remaining capacity accordingly". May go negative on an
-		// interrupted extended service; the next recovery resets it.
-		s.capacity -= elapsed
+		// interrupted extended service; the next recovery resets it —
+		// unless clamping is enabled (SetClampCapacity), which pins the
+		// post-charge capacity at zero (the floor excursion stays visible
+		// through CapacityFloor).
+		s.chargeCapacity(elapsed)
 	}
 }
 

@@ -55,6 +55,9 @@ func (s *PollingTaskServer) UseAdmissionQueue() *PollingTaskServer {
 // execution").
 func (s *PollingTaskServer) ServableEventReleased(tc *exec.TC, h *ServableAsyncEventHandler) {
 	rel := s.register(tc, h)
+	if rel == nil {
+		return // shed at registration (SetMaxPending)
+	}
 	if s.admission == nil {
 		return
 	}
@@ -87,6 +90,7 @@ func (s *PollingTaskServer) run(r *rtsjvm.RTC) {
 				s.admission.Remove(rel)
 			}
 			s.capacity -= elapsed
+			s.noteCapacity()
 			if s.capacity < 0 {
 				s.capacity = 0
 			}

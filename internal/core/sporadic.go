@@ -48,9 +48,12 @@ func NewSporadicTaskServer(vm *rtsjvm.VM, name string, prio int, params *TaskSer
 	return s
 }
 
-// ServableEventReleased implements TaskServer.
+// ServableEventReleased implements TaskServer. A shed release (register
+// returned nil) never wakes the server.
 func (s *SporadicTaskServer) ServableEventReleased(tc *exec.TC, h *ServableAsyncEventHandler) {
-	s.register(tc, h)
+	if s.register(tc, h) == nil {
+		return
+	}
 	if !s.running {
 		s.wakeUp.Fire(tc)
 	}
@@ -107,6 +110,7 @@ func (s *SporadicTaskServer) runOnce(tc *exec.TC) {
 		}
 		elapsed := s.serve(tc, rel, s.capacity)
 		s.capacity -= elapsed
+		s.noteCapacity()
 		if s.capacity < 0 {
 			s.capacity = 0
 		}

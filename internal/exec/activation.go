@@ -36,6 +36,8 @@ type ActivationSpec struct {
 	Start rtime.Time
 	// Period is the release period; it must be positive.
 	Period rtime.Duration
+	// Miss selects the overrun policy (default MissSkip).
+	Miss MissPolicy
 }
 
 // SpawnPeriodic creates an activation-driven periodic entity: body runs
@@ -55,6 +57,7 @@ func (ex *Exec) SpawnPeriodic(name string, prio int, spec ActivationSpec, body f
 	th := ex.newThread(name, prio, body)
 	th.periodic = true
 	th.period = spec.Period
+	th.missPolicy = spec.Miss
 	startAt := spec.Start
 	if startAt < ex.now {
 		startAt = ex.now
@@ -78,22 +81,55 @@ func (th *Thread) CurrentRelease() rtime.Time { return th.nextRel }
 
 // MissedActivations returns how many releases the entity has skipped
 // because a body overran past them (the skip-and-count overrun semantics
-// of the RTSJ's WaitForNextPeriod without a miss handler).
+// of the RTSJ's WaitForNextPeriod without a miss handler), or — under
+// MissContinueLate — how many releases happened late.
 func (th *Thread) MissedActivations() int { return th.missed }
 
+// AbortedActivations returns how many activations the MissAbort policy cut
+// short at their deadline. Always 0 under other policies.
+func (th *Thread) AbortedActivations() int { return th.aborted }
+
+// Miss returns the entity's overrun policy.
+func (th *Thread) Miss() MissPolicy { return th.missPolicy }
+
 // rearm ends an activation in kernel context: it advances th's release by
-// one period, skips releases the body overran past (counting each skip),
-// and applies the same sleep request a per-thread loop's WaitForNextPeriod
-// would issue here — so timer sequence numbers, ready-queue ranks and
-// therefore whole schedules match the loop formulation exactly. It also
-// detaches the body (started=false) so the next release dispatches a fresh
-// one.
+// one period, handles releases the body overran past according to the miss
+// policy (MissSkip skips and counts them; MissContinueLate keeps the first
+// past-due release, counting it late), and applies the same sleep request
+// a per-thread loop's WaitForNextPeriod would issue here — so timer
+// sequence numbers, ready-queue ranks and therefore whole schedules match
+// the loop formulation exactly (a past-due sleep re-queues the thread
+// immediately and deterministically; see apply). It also detaches the body
+// (started=false) so the next release dispatches a fresh one.
 func (ex *Exec) rearm(th *Thread) {
 	th.started = false
 	th.nextRel = th.nextRel.Add(th.period)
-	for th.nextRel < ex.now {
-		th.nextRel = th.nextRel.Add(th.period)
-		th.missed++
+	if th.missPolicy == MissContinueLate {
+		if th.nextRel < ex.now {
+			th.missed++
+		}
+	} else {
+		for th.nextRel < ex.now {
+			th.nextRel = th.nextRel.Add(th.period)
+			th.missed++
+		}
 	}
 	ex.apply(request{th: th, kind: reqSleep, until: th.nextRel})
+}
+
+// callBody runs one dispatch of the thread body, applying the entity's
+// miss policy. Under MissAbort the body runs inside a budgeted section
+// spanning the activation's implicit deadline (release + period): a body
+// still consuming at the deadline unwinds there, the abort is counted, and
+// the entity rearms for the release falling at that very instant. Every
+// other configuration dispatches the body directly.
+func (th *Thread) callBody() {
+	tc := &TC{th: th}
+	if th.periodic && th.missPolicy == MissAbort {
+		if tc.WithBudget(th.nextRel.Add(th.period).Sub(th.ex.now), func() { th.body(tc) }) {
+			th.aborted++
+		}
+		return
+	}
+	th.body(tc)
 }

@@ -37,7 +37,9 @@ type Options struct {
 	// thread: a thread's goroutine is materialized lazily the first time
 	// the scheduler runs it, and when its body returns the worker is
 	// recycled for other bodies. MaxGoroutines is the pool's resident
-	// size: workers beyond it retire as soon as their body finishes. The
+	// size: workers beyond it retire as bodies finish, one per finish,
+	// unless the finishing worker is the only one available to serve an
+	// immediately following start (then it is reused instead). The
 	// pool can transiently exceed the cap when more than MaxGoroutines
 	// bodies are suspended mid-execution at once (each suspended body pins
 	// its worker's stack) — the bound that holds is the peak number of
@@ -46,6 +48,42 @@ type Options struct {
 	// keeps the goroutine-per-thread mode. Scheduling is identical either
 	// way, enforced by the kernel differential tests.
 	MaxGoroutines int
+}
+
+// MissPolicy selects how a periodic entity (SpawnPeriodic) handles a
+// deadline overrun — a body still running when its next release comes due.
+// The policy is applied by the activation rearm path, so it is identical
+// across kernels and worker modes.
+type MissPolicy int
+
+const (
+	// MissSkip (the default) skips releases the body overran past,
+	// counting each skip (Thread.MissedActivations) — the RTSJ's
+	// WaitForNextPeriod semantics without a miss handler.
+	MissSkip MissPolicy = iota
+	// MissContinueLate releases the next period immediately when it is
+	// already past due instead of skipping to the next on-time release:
+	// the entity runs late but performs every release. Late releases are
+	// counted in Thread.MissedActivations.
+	MissContinueLate
+	// MissAbort bounds each activation by its implicit deadline (release +
+	// period): a body still consuming at the deadline unwinds via the
+	// budgeted-section mechanism (see TC.WithBudget) and the abort is
+	// counted (Thread.AbortedActivations). The body must not open its own
+	// WithBudget section — budgeted sections do not nest.
+	MissAbort
+)
+
+// String returns the policy's short name.
+func (p MissPolicy) String() string {
+	switch p {
+	case MissContinueLate:
+		return "continue-late"
+	case MissAbort:
+		return "abort"
+	default:
+		return "skip"
+	}
 }
 
 type threadState int
@@ -120,14 +158,17 @@ type Thread struct {
 	worker  *workerFate
 
 	// Activation-driven periodic state (SpawnPeriodic): the release period,
-	// the current/next release instant, the overrun skip count, and the
-	// detach flag raised while a finished body's goroutine leaves the
-	// scheduling loop (its thread lives on, so handoff must not park it).
-	periodic bool
-	period   rtime.Duration
-	nextRel  rtime.Time
-	missed   int
-	detached bool
+	// the current/next release instant, the overrun miss policy and its
+	// skip/abort counts, and the detach flag raised while a finished body's
+	// goroutine leaves the scheduling loop (its thread lives on, so handoff
+	// must not park it).
+	periodic   bool
+	period     rtime.Duration
+	nextRel    rtime.Time
+	missPolicy MissPolicy
+	missed     int
+	aborted    int
+	detached   bool
 
 	// Consume state.
 	needCPU  rtime.Duration
@@ -280,6 +321,12 @@ func (ex *Exec) Pooled() bool { return ex.pooled }
 // PoolPeak returns the peak number of pool worker goroutines that have
 // existed simultaneously (0 in goroutine-per-thread mode).
 func (ex *Exec) PoolPeak() int { return ex.pool.peakWorkers() }
+
+// PoolSpawned returns the total number of pool worker goroutines ever
+// created (0 in goroutine-per-thread mode). PoolSpawned equal to PoolPeak
+// means every worker was reused until the pool quiesced — no
+// retire-then-respawn churn.
+func (ex *Exec) PoolSpawned() int { return ex.pool.spawnedWorkers() }
 
 // Sink returns the sink this executive records into (never nil).
 func (ex *Exec) Sink() trace.Sink { return ex.sink }

@@ -59,7 +59,7 @@ func (th *Thread) channelBody() {
 		}
 		th.ex.reqCh <- request{th: th, kind: kind, err: err}
 	}()
-	th.body(&TC{th: th})
+	th.callBody()
 }
 
 // resume lets th execute user code to its next kernel call: waking its

@@ -59,7 +59,7 @@ func (th *Thread) directBody() {
 				}
 			}
 		}()
-		th.body(&TC{th: th})
+		th.callBody()
 	}()
 	if th.periodic && err == nil && !th.ex.shutdown {
 		th.directRearm()

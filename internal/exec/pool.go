@@ -27,7 +27,15 @@ import "sync"
 // Resident-size semantics: maxResident is the number of workers kept alive
 // once free. If a start arrives while every worker is pinned, a fresh
 // worker is spawned regardless of the cap (refusing would deadlock the
-// executive); workers above the cap retire as soon as their body finishes.
+// executive); a worker above the cap retires when its body finishes while
+// another worker is already available — if it is the only candidate to
+// serve an immediately following start, it is kept and reused instead
+// (burst workloads would otherwise retire a worker and respawn one a
+// moment later for every job). The pool therefore converges back to
+// maxResident as bodies finish, one retirement per finish, rather than
+// oscillating. All accounting happens at the two synchronous points
+// (startThread, bodyFinished) under the scheduling token, so pool sizes
+// are deterministic for a deterministic schedule.
 //
 // Fate plumbing: bodyFinished decides whether the finishing worker rejoins
 // the pool or retires, and records the verdict in the worker's own
@@ -39,10 +47,11 @@ import "sync"
 type workerPool struct {
 	mu          sync.Mutex
 	cond        sync.Cond
-	queue       []*Thread // unstarted threads awaiting a worker (length <= 1 in practice)
+	queue       []*Thread // unstarted threads awaiting a worker
 	avail       int       // workers free to take from the queue (idle or finishing up)
 	live        int       // all pool goroutines
 	peak        int       // high-water mark of live
+	spawned     int       // total goroutines ever created
 	maxResident int
 	closed      bool
 }
@@ -59,6 +68,14 @@ func (p *workerPool) peakWorkers() int {
 	return p.peak
 }
 
+// spawnedWorkers returns the total number of worker goroutines ever
+// created.
+func (p *workerPool) spawnedWorkers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.spawned
+}
+
 // startThread hands th's body to a worker: an available one if any,
 // otherwise a freshly spawned goroutine.
 func (ex *Exec) startThread(th *Thread) {
@@ -70,6 +87,7 @@ func (ex *Exec) startThread(th *Thread) {
 	} else {
 		p.live++
 		p.avail++
+		p.spawned++
 		if p.live > p.peak {
 			p.peak = p.live
 		}
@@ -87,14 +105,19 @@ type workerFate struct {
 }
 
 // bodyFinished records that th's body returned and its worker is about to
-// rejoin the pool — or retire, when the pool is over its resident size.
-// Must be called in the worker's goroutine before the scheduling token is
-// handed on (see the package comment for why that makes reuse race-free).
+// rejoin the pool — or retire, when the pool is over its resident size AND
+// another worker is already available to serve an immediately following
+// start. Keeping the only available worker (even over-cap) lets a burst's
+// next thread reuse it instead of spawning a replacement; the pool still
+// drains back to maxResident because each subsequent finish that does see
+// an available worker retires one. Must be called in the worker's
+// goroutine before the scheduling token is handed on (see the package
+// comment for why that makes reuse race-free).
 func (ex *Exec) bodyFinished(th *Thread) {
 	p := &ex.pool
 	p.mu.Lock()
 	w := th.worker
-	if p.live > p.maxResident {
+	if p.live > p.maxResident && p.avail > 0 {
 		p.live--
 		w.retire = true
 		p.cond.Broadcast() // close() waits on live==0
@@ -151,6 +174,13 @@ func (ex *Exec) poolWorker() {
 		th := p.queue[0]
 		p.queue = p.queue[1:]
 		p.avail--
+		if len(p.queue) > 0 && p.avail > 0 {
+			// Propagate the wakeup: with more queued starts and more
+			// available workers, one Signal per enqueue is not enough once
+			// the queue runs deeper than one (a woken worker may consume a
+			// signal meant for a start that arrived while it was waking).
+			p.cond.Signal()
+		}
 		fate = workerFate{}
 		th.worker = &fate
 		p.mu.Unlock()

@@ -108,6 +108,100 @@ func TestPooledOverCapAndRetire(t *testing.T) {
 	}
 }
 
+// TestPooledBurstNoChurn pins the relaxed availability accounting: a
+// serial burst of run-to-completion jobs (each finishing before the next
+// starts) on a pool whose transient depth exceeded MaxGoroutines must
+// reuse the over-cap worker when it is the only one available, instead of
+// retiring it and respawning a fresh goroutine for every job.
+func TestPooledBurstNoChurn(t *testing.T) {
+	for _, kind := range []Kernel{DirectKernel, ChannelKernel} {
+		t.Run(kind.String(), func(t *testing.T) {
+			ex := NewWithOptions(nil, Options{Kernel: kind, MaxGoroutines: 1})
+			// Phase 1: a priority ladder forces the pool two over its cap.
+			for i := 0; i < 3; i++ {
+				ex.Spawn(fmt.Sprintf("rung%d", i), 5+i, at(float64(i)), func(tc *TC) {
+					tc.Consume(tu(5))
+				})
+			}
+			// Phase 2: a serial burst after the ladder has drained.
+			const burst = 50
+			done := 0
+			for i := 0; i < burst; i++ {
+				ex.Spawn(fmt.Sprintf("b%d", i), 1, at(float64(40+i)), func(tc *TC) {
+					tc.Consume(tu(0.5))
+					done++
+				})
+			}
+			if err := ex.Run(at(200)); err != nil {
+				t.Fatal(err)
+			}
+			ex.Shutdown()
+			if done != burst {
+				t.Fatalf("completed %d of %d burst jobs", done, burst)
+			}
+			if peak, spawned := ex.PoolPeak(), ex.PoolSpawned(); spawned != peak {
+				t.Errorf("spawned %d workers for peak %d: burst churned retire/respawn", spawned, peak)
+			}
+		})
+	}
+}
+
+// TestPooledRetireConvergesToCap: after a transient over-cap episode, the
+// pool drains back to MaxGoroutines (one retirement per finish) once
+// enough bodies finish with another worker already available.
+func TestPooledRetireConvergesToCap(t *testing.T) {
+	ex := NewWithOptions(nil, Options{Kernel: DirectKernel, MaxGoroutines: 2})
+	for i := 0; i < 6; i++ {
+		ex.Spawn(fmt.Sprintf("rung%d", i), 1+i, at(float64(i)), func(tc *TC) {
+			tc.Consume(tu(10))
+		})
+	}
+	if err := ex.Run(at(100)); err != nil {
+		t.Fatal(err)
+	}
+	if peak := ex.PoolPeak(); peak != 6 {
+		t.Errorf("pool peak = %d, want 6", peak)
+	}
+	// All bodies finished; the pool must have shed its over-cap workers.
+	p := &ex.pool
+	p.mu.Lock()
+	live := p.live
+	p.mu.Unlock()
+	if live > 2 {
+		t.Errorf("pool kept %d live workers after quiescence, cap is 2", live)
+	}
+	ex.Shutdown()
+}
+
+// TestPooledAccountingDeterministic runs the same preemption-heavy
+// workload repeatedly and requires identical pool metrics every time: the
+// accounting happens only at synchronous scheduling points, so pool sizes
+// are a pure function of the schedule.
+func TestPooledAccountingDeterministic(t *testing.T) {
+	run := func() (int, int) {
+		ex := NewWithOptions(nil, Options{Kernel: DirectKernel, MaxGoroutines: 2})
+		rng := newDetRand(11)
+		for i := 0; i < 300; i++ {
+			prio := 1 + rng.next()%5
+			start := rtime.Time(rtime.Duration(rng.next()%600) * rtime.TU / 10)
+			cost := rtime.Duration(1+rng.next()%20) * rtime.TU / 10
+			ex.Spawn(fmt.Sprintf("j%d", i), prio, start, func(tc *TC) { tc.Consume(cost) })
+		}
+		if err := ex.Run(at(500)); err != nil {
+			t.Fatal(err)
+		}
+		ex.Shutdown()
+		return ex.PoolPeak(), ex.PoolSpawned()
+	}
+	peak0, spawned0 := run()
+	for i := 0; i < 5; i++ {
+		if peak, spawned := run(); peak != peak0 || spawned != spawned0 {
+			t.Fatalf("run %d: pool metrics drifted: peak %d/%d spawned %d/%d",
+				i, peak, peak0, spawned, spawned0)
+		}
+	}
+}
+
 // TestPooledErrorSurfaces: a panicking body on a pool worker reports its
 // error exactly like a dedicated goroutine would.
 func TestPooledErrorSurfaces(t *testing.T) {

@@ -14,6 +14,7 @@ import (
 
 	"rtsj/internal/core"
 	"rtsj/internal/exec"
+	"rtsj/internal/faults"
 	"rtsj/internal/gen"
 	"rtsj/internal/metrics"
 	"rtsj/internal/rtime"
@@ -52,6 +53,27 @@ type ExecModel struct {
 	// looping mode (pinned by TestExecutionTablesKernelIndependent); the
 	// difference is goroutine footprint on periodic-heavy workloads.
 	PeriodicActivation bool
+	// Faults is the optional deterministic fault-injection plan. Aperiodic
+	// faults (drops, jitter, cost overruns) are applied to the workload
+	// itself before either engine would see it, so they are identical
+	// across every kernel/pool/activation configuration; periodic
+	// per-release overruns are drawn order-independently inside each body
+	// (Plan.ActivationFault). Nil injects nothing and leaves every code
+	// path byte-identical to a fault-free run.
+	Faults *faults.Plan
+	// PeriodicMiss selects the overrun policy of the workload's periodic
+	// threads (exec.MissSkip default). exec.MissAbort requires
+	// PeriodicActivation.
+	PeriodicMiss exec.MissPolicy
+	// ServerMaxPending bounds the server's pending queue: releases beyond
+	// it are shed at registration (graceful degradation under overload).
+	// Zero keeps the unbounded queue.
+	ServerMaxPending int
+	// ClampServerCapacity pins the server capacity at zero after an
+	// over-budget service instead of letting it go transiently negative
+	// (core.TaskServer.SetClampCapacity); the excursion stays observable
+	// through CapacityFloor.
+	ClampServerCapacity bool
 }
 
 // execOptions maps the model onto the executive configuration.
@@ -123,6 +145,13 @@ func runExecutionSink(sys sim.System, m ExecModel, horizon rtime.Time, sink trac
 	if sys.Server == nil {
 		return nil, fmt.Errorf("experiments: execution needs a task server")
 	}
+	if m.PeriodicMiss == exec.MissAbort && !m.PeriodicActivation {
+		return nil, fmt.Errorf("experiments: the abort miss policy requires PeriodicActivation")
+	}
+	// Workload-level faults rewrite the system up front, independent of the
+	// executive configuration: the same plan yields the same faulted
+	// workload on every kernel/pool/activation combination.
+	sys = m.Faults.ApplySystem(sys, m.SysIndex)
 	vm := rtsjvm.NewVMSink(sink, m.Overheads, m.execOptions())
 	spec := *sys.Server
 	name := spec.Name
@@ -147,18 +176,38 @@ func runExecutionSink(sys sim.System, m ExecModel, horizon rtime.Time, sink trac
 	default:
 		return nil, fmt.Errorf("experiments: policy %v has no framework implementation", spec.Policy)
 	}
+	if m.ServerMaxPending > 0 {
+		srv.SetMaxPending(m.ServerMaxPending)
+	}
+	if m.ClampServerCapacity {
+		srv.SetClampCapacity(true)
+	}
 
 	for i := range sys.Periodics {
+		taskIdx := i
 		pt := sys.Periodics[i]
-		pp := &rtsjvm.PeriodicParameters{Start: pt.Offset, Period: pt.Period, Cost: pt.Cost, Deadline: pt.Deadline}
+		pp := &rtsjvm.PeriodicParameters{Start: pt.Offset, Period: pt.Period, Cost: pt.Cost, Deadline: pt.Deadline, Miss: m.PeriodicMiss}
+		// periodicCost draws the per-release demand: the declared cost,
+		// inflated by the fault plan's order-independent per-release overrun
+		// when one is active. CurrentRelease identifies the release in both
+		// emulation modes, so the same plan produces the same demand
+		// sequence everywhere.
+		periodicCost := func(r *rtsjvm.RTC) rtime.Duration {
+			if !m.Faults.Enabled() {
+				return pt.Cost
+			}
+			rel := int(rtime.DivFloor(r.CurrentRelease().Sub(pt.Offset), pt.Period))
+			f := m.Faults.ActivationFault(m.SysIndex, taskIdx, rel)
+			return f.Apply(pt.Cost)
+		}
 		if m.PeriodicActivation {
 			vm.NewActivationThread(pt.Name, pt.Priority, pp, func(r *rtsjvm.RTC) {
-				r.Consume(pt.Cost)
+				r.Consume(periodicCost(r))
 			})
 		} else {
 			vm.NewRealtimeThread(pt.Name, pt.Priority, pp, func(r *rtsjvm.RTC) {
 				for {
-					r.Consume(pt.Cost)
+					r.Consume(periodicCost(r))
 					r.WaitForNextPeriod()
 				}
 			})
@@ -183,6 +232,14 @@ func runExecutionSink(sys sim.System, m ExecModel, horizon rtime.Time, sink trac
 	}
 
 	err := vm.Run(horizon)
+	if err == nil {
+		// The scheduler invariant net runs after every execution: one
+		// O(threads) pass, so the whole experiment corpus doubles as its
+		// test bed.
+		if ierr := vm.Exec().CheckInvariants(); ierr != nil {
+			err = fmt.Errorf("experiments: post-run invariants: %w", ierr)
+		}
+	}
 	vm.Shutdown()
 	if err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rtsj/internal/exec"
+	"rtsj/internal/faults"
 	"rtsj/internal/rtime"
 )
 
@@ -38,6 +39,12 @@ type StressParams struct {
 	// dispatch path (exec.SpawnPeriodic) instead of parked loops: same
 	// schedule, no pinned worker per background thread.
 	PeriodicActivation bool
+	// Faults optionally perturbs the sporadic jobs with a deterministic
+	// fault plan: dropped jobs are never spawned, jittered jobs release
+	// late, overrunning jobs consume more than their generated cost. The
+	// fault schedule is a pure function of (plan seed, job index), so it
+	// is identical on every executive configuration.
+	Faults *faults.Plan
 }
 
 // DefaultStressParams is the 10k-job configuration used by
@@ -57,6 +64,7 @@ func DefaultStressParams() StressParams {
 type StressResult struct {
 	Jobs          int
 	Completed     int
+	Dropped       int // jobs removed by the fault plan (never spawned)
 	BackgroundRun int // background activations completed
 	TotalConsumed rtime.Duration
 	Horizon       rtime.Time
@@ -129,6 +137,15 @@ func RunStress(p StressParams) (*StressResult, error) {
 		release := rtime.Time(rng.next() % uint64(window))
 		cost := rtime.Duration(1+rng.next()%10) * rtime.TU / 10 // 0.1..1.0 tu
 		prio := 2 + int(rng.next()%uint64(p.PriorityBands))
+		// The fault draw happens after the generator draws, so a plan
+		// never shifts the unfaulted jobs' parameters.
+		f := p.Faults.JobFault(0, i)
+		if f.Dropped {
+			res.Dropped++
+			continue
+		}
+		release = release.Add(f.Jitter)
+		cost = f.Apply(cost)
 		ex.Spawn(fmt.Sprintf("job%d", i), prio, release, func(tc *exec.TC) {
 			tc.Consume(cost)
 			res.Completed++
@@ -138,6 +155,9 @@ func RunStress(p StressParams) (*StressResult, error) {
 	}
 
 	err := ex.Run(res.Horizon)
+	if err == nil {
+		err = ex.CheckInvariants()
+	}
 	res.FinalTime = ex.Now()
 	res.PeakWorkers = ex.PoolPeak()
 	for _, th := range ex.Threads() {

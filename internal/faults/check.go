@@ -1,0 +1,85 @@
+package faults
+
+import (
+	"fmt"
+	"strings"
+
+	"rtsj/internal/rtime"
+)
+
+// Counts is the per-run job accounting fed to Checker.Conservation: every
+// released job must end up in exactly one of the outcome buckets.
+type Counts struct {
+	// Released is the number of jobs whose release actually happened.
+	Released int
+	// Served is the number of jobs that completed normally.
+	Served int
+	// Interrupted is the number of jobs a server aborted mid-service.
+	Interrupted int
+	// Rejected is the number of jobs an admission test turned away.
+	Rejected int
+	// Shed is the number of jobs dropped by server load shedding.
+	Shed int
+	// Pending is the number of jobs still queued or in service when the
+	// run's horizon cut it off.
+	Pending int
+}
+
+// Checker accumulates invariant violations over a run. The zero value is
+// ready to use; check methods record a violation instead of failing, so a
+// run can be audited completely and reported once via Err.
+type Checker struct {
+	violations []string
+	last       map[string]int
+}
+
+// Checkf records a violation (formatted like fmt.Sprintf) unless ok.
+func (c *Checker) Checkf(ok bool, format string, args ...any) {
+	if !ok {
+		c.violations = append(c.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// Conservation checks that released jobs are conserved: every release is
+// served, interrupted, rejected, shed, or still pending — nothing is lost
+// and nothing is double-counted.
+func (c *Checker) Conservation(ct Counts) {
+	sum := ct.Served + ct.Interrupted + ct.Rejected + ct.Shed + ct.Pending
+	c.Checkf(ct.Released == sum,
+		"conservation: released %d != served %d + interrupted %d + rejected %d + shed %d + pending %d",
+		ct.Released, ct.Served, ct.Interrupted, ct.Rejected, ct.Shed, ct.Pending)
+	c.Checkf(ct.Released >= 0 && ct.Served >= 0 && ct.Interrupted >= 0 &&
+		ct.Rejected >= 0 && ct.Shed >= 0 && ct.Pending >= 0,
+		"conservation: negative bucket in %+v", ct)
+}
+
+// Monotone checks that the counter named key never decreases across
+// successive calls (miss counts, shed counts, release counts).
+func (c *Checker) Monotone(key string, value int) {
+	if c.last == nil {
+		c.last = make(map[string]int)
+	}
+	if prev, ok := c.last[key]; ok {
+		c.Checkf(value >= prev, "monotone: %s decreased %d -> %d", key, prev, value)
+	}
+	c.last[key] = value
+}
+
+// NonNegative checks that a duration-valued quantity (server capacity,
+// remaining budget) has not gone negative.
+func (c *Checker) NonNegative(key string, d rtime.Duration) {
+	c.Checkf(d >= 0, "non-negative: %s = %s", key, d)
+}
+
+// Violations returns every recorded violation, in recording order.
+func (c *Checker) Violations() []string { return c.violations }
+
+// Err returns nil if no violation was recorded, else one error listing
+// them all.
+func (c *Checker) Err() error {
+	if len(c.violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("faults: %d invariant violation(s):\n  %s",
+		len(c.violations), strings.Join(c.violations, "\n  "))
+}

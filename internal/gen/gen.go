@@ -30,6 +30,13 @@ const (
 	// uniform arrival instants over the whole horizon: burstier, used by
 	// the robustness experiments.
 	PoissonArrivals
+	// MMPPArrivals draws from a two-state Markov-modulated Poisson
+	// process: the source alternates between a calm state at the base
+	// density and a burst state at BurstFactor times that density, with
+	// exponentially distributed sojourn times. It produces the arrival
+	// storms the overload scenario family needs while staying fully
+	// deterministic under the seed.
+	MMPPArrivals
 )
 
 // Params mirrors the constructor parameters of randomSystemGenerator.
@@ -54,6 +61,15 @@ type Params struct {
 	// HorizonPeriods is the observation window in server periods (the
 	// paper limits simulations and executions to ten server periods).
 	HorizonPeriods int
+	// BurstFactor multiplies the arrival rate in the MMPP burst state
+	// (MMPPArrivals only); 0 defaults to 8.
+	BurstFactor float64
+	// BurstMeanPeriods is the mean burst-state sojourn in server periods
+	// (MMPPArrivals only); 0 defaults to 1.
+	BurstMeanPeriods float64
+	// CalmMeanPeriods is the mean calm-state sojourn in server periods
+	// (MMPPArrivals only); 0 defaults to 3.
+	CalmMeanPeriods float64
 }
 
 // Horizon returns the observation window of the generated systems.
@@ -79,6 +95,8 @@ func Generate(p Params) []sim.System {
 	for n := 0; n < p.NbGeneration; n++ {
 		var arrivals []float64
 		switch p.Arrivals {
+		case MMPPArrivals:
+			arrivals = mmppArrivals(p, r, horizonTU)
 		case PoissonArrivals:
 			lambda := p.TaskDensity * float64(p.HorizonPeriods)
 			count := r.poisson(lambda)
@@ -111,6 +129,46 @@ func Generate(p Params) []sim.System {
 		out = append(out, sim.System{Aperiodics: jobs})
 	}
 	return out
+}
+
+// mmppArrivals walks the two-state chain across the horizon: each sojourn
+// length is exponential with the state's mean, the arrivals inside it are
+// Poisson at the state's rate with uniform instants in the window.
+func mmppArrivals(p Params, r *rng, horizonTU float64) []float64 {
+	burstFactor := p.BurstFactor
+	if burstFactor <= 0 {
+		burstFactor = 8
+	}
+	burstMean := p.BurstMeanPeriods
+	if burstMean <= 0 {
+		burstMean = 1
+	}
+	calmMean := p.CalmMeanPeriods
+	if calmMean <= 0 {
+		calmMean = 3
+	}
+	calmRate := p.TaskDensity / p.ServerPeriod // arrivals per tu
+	var arrivals []float64
+	t := 0.0
+	burst := false
+	for t < horizonTU {
+		mean, rate := calmMean, calmRate
+		if burst {
+			mean, rate = burstMean, calmRate*burstFactor
+		}
+		sojourn := -mean * p.ServerPeriod * math.Log(1-r.float64())
+		end := t + sojourn
+		if end > horizonTU {
+			end = horizonTU
+		}
+		n := r.poisson(rate * (end - t))
+		for i := 0; i < n; i++ {
+			arrivals = append(arrivals, t+r.float64()*(end-t))
+		}
+		t = end
+		burst = !burst
+	}
+	return arrivals
 }
 
 // WithServer returns a copy of sys with the given server policy attached,

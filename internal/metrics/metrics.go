@@ -21,6 +21,9 @@ type Event struct {
 	Finished    rtime.Time
 	Served      bool
 	Interrupted bool
+	// Shed marks an event dropped at registration by an overloaded server
+	// (core.TaskServer.SetMaxPending): never queued, never served.
+	Shed bool
 }
 
 // Response returns the response time in time units (served events only).
@@ -57,6 +60,7 @@ func FromRecords(recs []*core.EventRecord) []Event {
 			Finished:    r.Finished,
 			Served:      r.Served,
 			Interrupted: r.Interrupted,
+			Shed:        r.Shed,
 		})
 	}
 	return out
@@ -67,6 +71,8 @@ type Summary struct {
 	Total       int
 	Served      int
 	Interrupted int
+	// Shed counts events dropped at registration under overload.
+	Shed int
 	// AvgResponse is the average response time of served events, in tu.
 	AvgResponse float64
 	// MaxResponse is the largest observed response time, in tu.
@@ -83,6 +89,9 @@ func Summarize(events []Event) Summary {
 	for _, e := range events {
 		if e.Interrupted {
 			s.Interrupted++
+		}
+		if e.Shed {
+			s.Shed++
 		}
 		if !e.Served {
 			continue

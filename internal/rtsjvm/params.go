@@ -27,6 +27,14 @@ type PeriodicParameters struct {
 	Cost rtime.Duration
 	// Deadline is the relative deadline; 0 means deadline = period.
 	Deadline rtime.Duration
+	// Miss selects the overrun policy (the RTSJ's miss-handler choice,
+	// reduced to the three deterministic policies the executive supports):
+	// exec.MissSkip skips overrun releases, exec.MissContinueLate releases
+	// late, exec.MissAbort cuts the body off at its implicit deadline.
+	// MissAbort requires activation mode (NewActivationThread) — the
+	// looping mode's body owns the release loop, so the VM cannot bound a
+	// single release from outside it.
+	Miss exec.MissPolicy
 }
 
 // ReleaseCost implements ReleaseParameters.

@@ -37,6 +37,9 @@ type RTC struct {
 // parameters the thread is released at pp.Start; otherwise it starts
 // immediately. The body typically loops on WaitForNextPeriod.
 func (vm *VM) NewRealtimeThread(name string, prio int, pp *PeriodicParameters, body func(*RTC)) *RealtimeThread {
+	if pp != nil && pp.Miss == exec.MissAbort {
+		panic("rtsjvm: the abort miss policy requires activation mode (NewActivationThread)")
+	}
 	rt := &RealtimeThread{vm: vm, name: name, prio: prio, pp: pp}
 	start := vm.ex.Now()
 	if pp != nil && pp.Start > start {
@@ -70,7 +73,7 @@ func (vm *VM) NewActivationThread(name string, prio int, pp *PeriodicParameters,
 	if pp.Start > start {
 		start = pp.Start
 	}
-	rt.th = vm.ex.SpawnPeriodic(name, prio, exec.ActivationSpec{Start: start, Period: pp.Period},
+	rt.th = vm.ex.SpawnPeriodic(name, prio, exec.ActivationSpec{Start: start, Period: pp.Period, Miss: pp.Miss},
 		func(tc *exec.TC) {
 			body(&RTC{
 				TC:     tc,
@@ -104,10 +107,16 @@ func (rt *RealtimeThread) SchedulableRelease() ReleaseParameters {
 }
 
 // WaitForNextPeriod suspends the thread until its next periodic release.
-// If the thread overran past one or more releases, those activations are
-// skipped (the next release strictly after now is used) and the method
-// returns false, mirroring the RTSJ's deadline-miss handling for the
-// default (no miss handler) configuration.
+// If the thread overran past one or more releases, the periodic
+// parameters' miss policy decides: under the default (exec.MissSkip) the
+// overrun activations are skipped (the next release strictly after now is
+// used) and the method returns false, mirroring the RTSJ's deadline-miss
+// handling for the no-miss-handler configuration; under
+// exec.MissContinueLate the next release is kept even though it is past
+// due — the thread continues immediately, late, and the method returns
+// false. Either way the kernel-call sequence matches the activation-mode
+// rearm for the same policy, keeping the two emulation modes
+// schedule-identical.
 func (r *RTC) WaitForNextPeriod() bool {
 	if r.rt.pp == nil || r.rt.pp.Period <= 0 {
 		panic("rtsjvm: WaitForNextPeriod on a non-periodic thread")
@@ -117,10 +126,17 @@ func (r *RTC) WaitForNextPeriod() bool {
 	}
 	r.next = r.next.Add(r.rt.pp.Period)
 	onTime := true
-	for r.next < r.Now() {
-		r.next = r.next.Add(r.rt.pp.Period)
-		r.Missed++
-		onTime = false
+	if r.rt.pp.Miss == exec.MissContinueLate {
+		if r.next < r.Now() {
+			r.Missed++
+			onTime = false
+		}
+	} else {
+		for r.next < r.Now() {
+			r.next = r.next.Add(r.rt.pp.Period)
+			r.Missed++
+			onTime = false
+		}
 	}
 	r.SleepUntil(r.next)
 	return onTime

@@ -7,6 +7,7 @@
 //	periodic tau1 6 2 prio=2      # name period cost [prio=] [offset=] [deadline=]
 //	aperiodic J1 2.5 3            # name release cost [declared=] [deadline=] [value=]
 //	horizon 60
+//	faults seed=1 overrun=0.2:0.5 # deterministic fault plan (see faults.ParseArgs)
 //
 // Durations and instants are in time units unless suffixed (see
 // rtime.ParseDuration).
@@ -19,6 +20,7 @@ import (
 	"strconv"
 	"strings"
 
+	"rtsj/internal/faults"
 	"rtsj/internal/rtime"
 	"rtsj/internal/sim"
 )
@@ -38,6 +40,9 @@ type File struct {
 	Policy  PolicyKind
 	System  sim.System
 	Horizon rtime.Time
+	// Faults is the optional deterministic fault-injection plan declared
+	// by a faults directive; nil when absent.
+	Faults *faults.Plan
 }
 
 var serverPolicies = map[string]sim.ServerPolicy{
@@ -156,6 +161,12 @@ func (f *File) parseLine(fields []string) error {
 			}
 		}
 		f.System.Periodics = append(f.System.Periodics, t)
+	case "faults":
+		p, err := faults.ParseArgs(fields[1:])
+		if err != nil {
+			return err
+		}
+		f.Faults = p
 	case "aperiodic":
 		if len(fields) < 4 {
 			return fmt.Errorf("aperiodic wants: aperiodic <name> <release> <cost> [options]")
@@ -262,6 +273,9 @@ func Format(f *File) string {
 			fmt.Fprintf(&b, " value=%g", j.Value)
 		}
 		b.WriteByte('\n')
+	}
+	if f.Faults != nil {
+		fmt.Fprintf(&b, "faults %s\n", f.Faults)
 	}
 	return b.String()
 }

@@ -28,6 +28,7 @@ const (
 	DeadlineMiss
 	Replenish    // a server recovered its capacity
 	CapacityLost // a polling server dropped its remaining capacity
+	Shed         // a server dropped a release under overload (load shedding)
 	Custom
 )
 
@@ -46,6 +47,8 @@ func (k EventKind) String() string {
 		return "replenish"
 	case CapacityLost:
 		return "capacity-lost"
+	case Shed:
+		return "shed"
 	default:
 		return "custom"
 	}
@@ -66,6 +69,8 @@ func (k EventKind) marker() byte {
 		return 'r'
 	case CapacityLost:
 		return 'l'
+	case Shed:
+		return 's'
 	default:
 		return '*'
 	}
