@@ -223,13 +223,42 @@ func BenchmarkEngineSimThroughput(b *testing.B) {
 	base := gen.Generate(p)[0]
 	sys := gen.WithServer(base, p, sim.DeferrableServer, 100)
 	jobs := len(sys.Aperiodics)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.Run(sys, sim.NewFP(sys, nil), p.Horizon(), nil); err != nil {
+		r, err := sim.Run(sys, sim.NewFP(sys, nil), p.Horizon(), nil)
+		if err != nil {
 			b.Fatal(err)
 		}
+		// Recycling per iteration keeps the job heap flat: allocs/op stays
+		// constant instead of drifting with b.N as retained results pile up.
+		r.Recycle()
 	}
 	b.ReportMetric(float64(jobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkCampaignStreaming measures the campaign fabric end to end: one
+// 2000-system sweep point generated index-addressably, simulated and folded
+// through the streaming reducer (systems per second of wall time). Memory
+// per op must stay O(worker pool) — the reducer retains nothing.
+func BenchmarkCampaignStreaming(b *testing.B) {
+	spec := experiments.DefaultCampaignSpec()
+	spec.Points = []float64{2}
+	spec.Systems = 2000
+	b.ReportAllocs()
+	b.ResetTimer()
+	var part metrics.Partial
+	for i := 0; i < b.N; i++ {
+		p, err := experiments.RunCampaignRange(spec, 0, 0, spec.Systems)
+		if err != nil {
+			b.Fatal(err)
+		}
+		part = p
+	}
+	if part.Systems != spec.Systems {
+		b.Fatalf("partial covers %d systems, want %d", part.Systems, spec.Systems)
+	}
+	b.ReportMetric(float64(spec.Systems*b.N)/b.Elapsed().Seconds(), "systems/s")
 }
 
 // BenchmarkEngineExecThroughput measures the virtual-time executive running

@@ -95,7 +95,7 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+
 
 func main() {
 	var (
-		bench     = flag.String("bench", `^(BenchmarkEngine|BenchmarkExec|BenchmarkTable)`, "benchmark regexp passed to go test -bench")
+		bench     = flag.String("bench", `^(BenchmarkEngine|BenchmarkExec|BenchmarkTable|BenchmarkCampaign)`, "benchmark regexp passed to go test -bench")
 		benchtime = flag.String("benchtime", "500ms", "fixed -benchtime for every run")
 		count     = flag.Int("count", 5, "repetitions per benchmark; the gate compares minima")
 		pkg       = flag.String("pkg", ".", "package holding the benchmarks")

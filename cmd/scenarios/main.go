@@ -11,6 +11,11 @@
 // saturation. It exits non-zero if any invariant is violated or if the
 // miss-storm's hard periodic set misses a deadline — the graceful-
 // degradation property CI smokes with a 10k-event burst.
+//
+// The "campaign" family runs the stock utilization-sweep campaign
+// in-process through the streaming reducer (-n overrides systems per point,
+// -seed the generation seed) and prints the schedulability curve; the
+// sharded front-end lives in cmd/tables -campaign.
 package main
 
 import (
@@ -25,12 +30,12 @@ import (
 )
 
 func main() {
-	family := flag.String("family", "figures", "scenario family: figures | overload")
+	family := flag.String("family", "figures", "scenario family: figures | overload | campaign")
 	scenario := flag.String("scenario", "", "scenario to run: figures 1-3, overload miss-storm|transient|saturation; empty for all")
 	ideal := flag.Bool("ideal", true, "figures: also show the ideal (literature) polling server schedule")
 	workers := flag.Int("workers", 0, "harness worker pool size (0: $RTSJ_WORKERS or GOMAXPROCS)")
-	events := flag.Int("n", 0, "overload: approximate aperiodic event count (0: scenario default)")
-	seed := flag.Int64("seed", 0, "overload: workload seed (0: scenario default)")
+	events := flag.Int("n", 0, "overload: approximate event count; campaign: systems per point (0: default)")
+	seed := flag.Int64("seed", 0, "overload/campaign: workload seed (0: default)")
 	faultsFlag := flag.String("faults", "", "overload: extra fault plan (e.g. 'seed=1 overrun=0.3:0.5'); 'off' or empty for none")
 	pooled := flag.Int("pooled", 0, "overload: run pooled with this many workers (0: goroutine per thread)")
 	activation := flag.Bool("activation", false, "overload: activation-driven periodic dispatch")
@@ -54,8 +59,10 @@ func main() {
 		runFigures(n, *ideal)
 	case "overload":
 		runOverload(*scenario, *events, *seed, *faultsFlag, *pooled, *activation, *quiet)
+	case "campaign":
+		runCampaign(*events, *seed)
 	default:
-		fmt.Fprintf(os.Stderr, "scenarios: unknown family %q (want figures or overload)\n", *family)
+		fmt.Fprintf(os.Stderr, "scenarios: unknown family %q (want figures, overload or campaign)\n", *family)
 		os.Exit(2)
 	}
 }
@@ -88,6 +95,24 @@ func runFigures(n int, ideal bool) {
 		}
 		fmt.Println()
 	}
+}
+
+// runCampaign streams the stock utilization sweep in-process and prints
+// the resulting schedulability curve.
+func runCampaign(systems int, seed int64) {
+	spec := experiments.DefaultCampaignSpec()
+	if systems > 0 {
+		spec.Systems = systems
+	}
+	if seed != 0 {
+		spec.Seed = seed
+	}
+	curve, err := experiments.RunCampaign(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenarios: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(curve.Format())
 }
 
 func runOverload(scenario string, events int, seed int64, faultsFlag string, pooled int, activation bool, quiet bool) {

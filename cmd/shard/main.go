@@ -1,0 +1,65 @@
+// Command shard is the campaign fabric's worker process: it serves
+// newline-delimited JSON range requests (experiments.ShardRequest) and
+// answers each with the partial metrics of that system-index range
+// (experiments.ShardResponse).
+//
+// By default it serves a single session on stdin/stdout — the subprocess
+// mode `rtsj-tables -campaign -shards N -shard-bin` uses. With -listen it
+// accepts TCP connections instead and serves one session per connection,
+// so shards can run on other machines:
+//
+//	shard -listen :7700 &
+//	tables -campaign -shard-addr host1:7700,host2:7700
+//
+// -workers bounds the worker pool of this process (default $RTSJ_WORKERS,
+// else GOMAXPROCS); the coordinator's own -workers value does not travel
+// over the wire.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"rtsj/internal/experiments"
+	"rtsj/internal/harness"
+)
+
+func main() {
+	listen := flag.String("listen", "", "serve TCP connections on this address instead of stdin/stdout")
+	workers := flag.Int("workers", 0, "worker pool size for this shard (default $RTSJ_WORKERS, else GOMAXPROCS)")
+	flag.Parse()
+	if *workers > 0 {
+		harness.SetWorkers(*workers)
+	}
+
+	if *listen == "" {
+		if err := experiments.ServeShard(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "shard:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shard:", err)
+		os.Exit(1)
+	}
+	log.Printf("shard: listening on %s", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shard:", err)
+			os.Exit(1)
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			if err := experiments.ServeShard(c, c); err != nil {
+				log.Printf("shard: %s: %v", c.RemoteAddr(), err)
+			}
+		}(conn)
+	}
+}

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+
+	"rtsj/internal/experiments"
+	"rtsj/internal/sim"
+)
+
+// campaignFlags groups the -campaign mode's flags, registered alongside the
+// table flags in main.
+type campaignFlags struct {
+	run       *bool
+	points    *string
+	systems   *int
+	seed      *int64
+	policy    *string
+	shards    *int
+	shardBin  *string
+	shardAddr *string
+	batch     *int
+}
+
+func registerCampaignFlags() campaignFlags {
+	return campaignFlags{
+		run:       flag.Bool("campaign", false, "run a utilization-sweep campaign instead of the paper tables"),
+		points:    flag.String("points", "", "campaign: comma-separated task densities (default: the stock sweep)"),
+		systems:   flag.Int("systems", 0, "campaign: systems per sweep point (default 1000)"),
+		seed:      flag.Int64("seed", 0, "campaign: generation seed (default 1983)"),
+		policy:    flag.String("policy", "ds", "campaign: server policy (bg, ps, ds, ps-lim, ds-lim, ss, pe, slack)"),
+		shards:    flag.Int("shards", 0, "campaign: run this many shard subprocesses (0: in-process)"),
+		shardBin:  flag.String("shard-bin", "shard", "campaign: shard worker binary for -shards"),
+		shardAddr: flag.String("shard-addr", "", "campaign: comma-separated TCP shard addresses (overrides -shards)"),
+		batch:     flag.Int("batch", 0, "campaign: systems per shard request (0: auto)"),
+	}
+}
+
+// campaignPolicies names the simulated server policies on the command line,
+// matching the spec-file vocabulary.
+var campaignPolicies = map[string]sim.ServerPolicy{
+	"bg": sim.NoServer,
+	"ps": sim.PollingServer, "ds": sim.DeferrableServer,
+	"ps-lim": sim.LimitedPollingServer, "ds-lim": sim.LimitedDeferrableServer,
+	"ss": sim.SporadicServer, "pe": sim.PriorityExchange, "slack": sim.SlackStealer,
+}
+
+// runCampaign resolves the flags into a CampaignSpec, runs it in-process,
+// over subprocess shards or over TCP shards, and prints the curve. All
+// three paths print byte-identical output for the same spec.
+func runCampaign(cf campaignFlags, workers int) {
+	spec := experiments.DefaultCampaignSpec()
+	if *cf.points != "" {
+		var pts []float64
+		for _, s := range strings.Split(*cf.points, ",") {
+			d, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tables: -points: %q is not a number\n", s)
+				os.Exit(2)
+			}
+			pts = append(pts, d)
+		}
+		spec.Points = pts
+	}
+	if *cf.systems > 0 {
+		spec.Systems = *cf.systems
+	}
+	if *cf.seed != 0 {
+		spec.Seed = *cf.seed
+	}
+	pol, ok := campaignPolicies[*cf.policy]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tables: -policy: unknown policy %q\n", *cf.policy)
+		os.Exit(2)
+	}
+	spec.Policy = pol
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+		os.Exit(2)
+	}
+
+	curve, err := dispatchCampaign(spec, cf, workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(curve.Format())
+}
+
+func dispatchCampaign(spec experiments.CampaignSpec, cf campaignFlags, workers int) (*experiments.Curve, error) {
+	switch {
+	case *cf.shardAddr != "":
+		return runCampaignTCP(spec, strings.Split(*cf.shardAddr, ","), *cf.batch)
+	case *cf.shards > 0:
+		return runCampaignSubprocess(spec, *cf.shards, *cf.shardBin, *cf.batch, workers)
+	default:
+		return experiments.RunCampaign(spec)
+	}
+}
+
+// runCampaignSubprocess spawns n shard worker processes speaking the wire
+// protocol over their stdin/stdout pipes. The coordinator's -workers value
+// is forwarded to every shard: the flag bounds each process's pool, so n
+// shards run up to n*workers simulation goroutines machine-wide.
+func runCampaignSubprocess(spec experiments.CampaignSpec, n int, bin string, batch, workers int) (*experiments.Curve, error) {
+	conns := make([]experiments.ShardConn, n)
+	cmds := make([]*exec.Cmd, n)
+	for i := 0; i < n; i++ {
+		args := []string{}
+		if workers > 0 {
+			args = append(args, "-workers", strconv.Itoa(workers))
+		}
+		cmd := exec.Command(bin, args...)
+		cmd.Stderr = os.Stderr
+		in, err := cmd.StdinPipe()
+		if err != nil {
+			return nil, fmt.Errorf("campaign: shard %d: %w", i, err)
+		}
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, fmt.Errorf("campaign: shard %d: %w", i, err)
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("campaign: shard %d: start %s: %w", i, bin, err)
+		}
+		conns[i] = experiments.ShardConn{Name: fmt.Sprintf("shard %d (pid %d)", i, cmd.Process.Pid), R: out, W: in}
+		cmds[i] = cmd
+	}
+	curve, err := experiments.RunCampaignSharded(spec, conns, batch)
+	for i, cmd := range cmds {
+		// Closing stdin is the shutdown signal: ServeShard returns on EOF.
+		if c, ok := conns[i].W.(interface{ Close() error }); ok {
+			c.Close()
+		}
+		if werr := cmd.Wait(); werr != nil && err == nil {
+			err = fmt.Errorf("campaign: %s: %w", conns[i].Name, werr)
+		}
+	}
+	return curve, err
+}
+
+// runCampaignTCP connects to already-running shard workers (cmd/shard
+// -listen) over TCP.
+func runCampaignTCP(spec experiments.CampaignSpec, addrs []string, batch int) (*experiments.Curve, error) {
+	conns := make([]experiments.ShardConn, 0, len(addrs))
+	defer func() {
+		for _, c := range conns {
+			c.W.(net.Conn).Close()
+		}
+	}()
+	for _, addr := range addrs {
+		addr = strings.TrimSpace(addr)
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		conns = append(conns, experiments.ShardConn{Name: addr, R: c, W: c})
+	}
+	return experiments.RunCampaignSharded(spec, conns, batch)
+}

@@ -3,9 +3,17 @@
 // and executed (Task Server Framework on the RTSJ emulation), reporting
 // AART, AIR and ASR side by side with the paper's values.
 //
+// With -campaign it instead runs a utilization-sweep schedulability
+// campaign over an index-addressable system population — in-process, across
+// -shards subprocess workers, or across -shard-addr TCP workers — and
+// prints the curve. Every execution mode prints byte-identical output for
+// the same spec.
+//
 // Usage:
 //
 //	tables [-table 2|3|4|5|all]
+//	tables -campaign [-points 0.5,1,2] [-systems N] [-seed S] [-policy ds]
+//	       [-shards N -shard-bin ./shard | -shard-addr host:port,...]
 package main
 
 import (
@@ -21,12 +29,18 @@ func main() {
 	table := flag.String("table", "all", "table to regenerate: 2, 3, 4, 5 or all")
 	matrix := flag.Bool("matrix", false, "also run the extension experiment: every policy on every set")
 	workers := flag.Int("workers", 0, "harness worker pool size (0: $RTSJ_WORKERS or GOMAXPROCS)")
+	cf := registerCampaignFlags()
 	flag.Parse()
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "tables: -workers must be >= 0 (got %d)\n", *workers)
 		os.Exit(2)
 	}
 	harness.SetWorkers(*workers)
+
+	if *cf.run {
+		runCampaign(cf, *workers)
+		return
+	}
 
 	ids := experiments.TableIDs
 	if *table != "all" {

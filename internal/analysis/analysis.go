@@ -15,7 +15,7 @@ import (
 
 // Task is a periodic task for off-line analysis.
 type Task struct {
-	Name string
+	Name string         // task name, for reports
 	C    rtime.Duration // worst-case execution time
 	T    rtime.Duration // period
 	D    rtime.Duration // relative deadline; 0 means D = T
@@ -43,11 +43,11 @@ func Utilization(tasks []Task) float64 {
 
 // Response is the outcome of response-time analysis for one task.
 type Response struct {
-	Task Task
+	Task Task // the analysed task
 	// R is the worst-case response time measured from the periodic
 	// reference (it includes the task's own release jitter).
 	R        rtime.Duration
-	Feasible bool
+	Feasible bool // R fits within the task's deadline
 	// Converged is false when the recurrence diverged past the deadline
 	// (the response time is then a lower bound, reported as-is).
 	Converged bool

@@ -28,7 +28,7 @@ import (
 // implementation on a P4) both exist but are implicit; here they are
 // explicit so the executions are reproducible.
 type ExecModel struct {
-	Overheads rtsjvm.Overheads
+	Overheads rtsjvm.Overheads // VM costs charged by the emulation
 	// CostNoise inflates each handler's actual demand over its declared
 	// cost: actual = declared * (1 + u*CostNoise), u uniform per event.
 	// This models execution-time jitter (JIT, cache, GC pauses) and is
@@ -36,7 +36,7 @@ type ExecModel struct {
 	CostNoise float64
 	// NoiseSeed and SysIndex derive the deterministic per-event u.
 	NoiseSeed int64
-	SysIndex  int
+	SysIndex  int // system index within its set, for noise derivation
 	// Kernel selects the executive implementation the VM runs on. The zero
 	// value is exec.DirectKernel (the fast channel-free executive); the
 	// kernel differential tests set exec.ChannelKernel to re-run Tables 3/5
@@ -104,9 +104,9 @@ func ZeroExecModel() ExecModel { return ExecModel{} }
 // ExecOutcome is the result of one framework execution. Trace is nil for
 // metrics-only executions (RunExecutionMetrics).
 type ExecOutcome struct {
-	Trace   *trace.Trace
-	Records []*core.EventRecord
-	Server  core.TaskServer
+	Trace   *trace.Trace        // recorded schedule; nil for metrics-only runs
+	Records []*core.EventRecord // per-event service records, release order
+	Server  core.TaskServer     // the server instance that ran the handlers
 }
 
 // RunSimulation simulates sys on RTSS under its configured server policy,

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rtsj/internal/gen"
+	"rtsj/internal/harness"
+	"rtsj/internal/metrics"
+	"rtsj/internal/sim"
+)
+
+// CampaignSpec describes a utilization-sweep schedulability campaign: the
+// paper's table methodology scaled to populations the tables never reach.
+// Each sweep point is a task density; at every point, Systems systems are
+// generated index-addressably (gen.SystemAt), simulated metrics-only under
+// Policy, and folded into one mergeable metrics.Partial through the
+// streaming reducer — no per-system record outlives its fold, so campaign
+// memory is O(worker pool), not O(Systems).
+//
+// The spec is the wire unit of the shard protocol (it travels inside every
+// ShardRequest), so all fields are plain serializable values.
+type CampaignSpec struct {
+	// Points are the swept task densities (average aperiodic events per
+	// server period), in sweep order.
+	Points []float64 `json:"points"`
+	// Systems is the number of generated systems per sweep point.
+	Systems int `json:"systems"`
+	// Seed roots every per-index generation stream (gen.SystemAt).
+	Seed int64 `json:"seed"`
+	// AverageCost and StdDeviation parameterize event costs, in time units.
+	AverageCost  float64 `json:"average_cost"`
+	StdDeviation float64 `json:"std_deviation"` // cost standard deviation, in time units
+	// ServerCapacity and ServerPeriod define the task server, in time units.
+	ServerCapacity float64 `json:"server_capacity"`
+	ServerPeriod   float64 `json:"server_period"` // server replenishment period, in time units
+	// HorizonPeriods is the observation window in server periods.
+	HorizonPeriods int `json:"horizon_periods"`
+	// Policy is the simulated server policy (campaigns run on the RTSS
+	// simulation engine; executions are two orders of magnitude costlier
+	// and stay with the tables).
+	Policy sim.ServerPolicy `json:"policy"`
+}
+
+// DefaultCampaignSpec is the stock utilization sweep: eight density points
+// carrying the aperiodic load from 25% to 200% of a DS(4, 6) server's
+// bandwidth, crossing saturation mid-sweep.
+func DefaultCampaignSpec() CampaignSpec {
+	return CampaignSpec{
+		Points:         []float64{0.5, 1, 1.5, 2, 2.5, 3, 3.5, 4},
+		Systems:        1000,
+		Seed:           1983,
+		AverageCost:    3,
+		StdDeviation:   2,
+		ServerCapacity: 4,
+		ServerPeriod:   6,
+		HorizonPeriods: 10,
+		Policy:         sim.DeferrableServer,
+	}
+}
+
+// Validate reports structural problems in the spec, including values that
+// arrived over the shard protocol from an untrusted coordinator.
+func (s CampaignSpec) Validate() error {
+	if len(s.Points) == 0 {
+		return fmt.Errorf("campaign: no sweep points")
+	}
+	for i, d := range s.Points {
+		if d <= 0 {
+			return fmt.Errorf("campaign: point %d: density %v must be positive", i, d)
+		}
+	}
+	if s.Systems <= 0 {
+		return fmt.Errorf("campaign: systems per point must be positive (got %d)", s.Systems)
+	}
+	if s.ServerCapacity <= 0 || s.ServerPeriod <= 0 {
+		return fmt.Errorf("campaign: server capacity and period must be positive")
+	}
+	if s.HorizonPeriods <= 0 {
+		return fmt.Errorf("campaign: horizon must be positive (got %d periods)", s.HorizonPeriods)
+	}
+	if s.Policy < sim.NoServer || s.Policy > sim.SlackStealer {
+		return fmt.Errorf("campaign: unknown server policy %d", int(s.Policy))
+	}
+	return nil
+}
+
+// pointParams maps one sweep point onto generation parameters. The seed is
+// offset by the point index so every sweep point draws an independent
+// population: without it, point k and point k' would reuse the same
+// per-index streams and correlate their arrival noise.
+func (s CampaignSpec) pointParams(point int) gen.Params {
+	return gen.Params{
+		TaskDensity:    s.Points[point],
+		AverageCost:    s.AverageCost,
+		StdDeviation:   s.StdDeviation,
+		ServerCapacity: s.ServerCapacity,
+		ServerPeriod:   s.ServerPeriod,
+		Seed:           s.Seed + int64(point)*0x1000003,
+		HorizonPeriods: s.HorizonPeriods,
+	}
+}
+
+// Load returns the aperiodic load a density point offers, as a fraction of
+// the processor (density x average cost / server period).
+func (s CampaignSpec) Load(density float64) float64 {
+	return density * s.AverageCost / s.ServerPeriod
+}
+
+// RunCampaignRange computes the partial metrics of systems [lo, hi) of one
+// sweep point: the shard work unit. Systems stream through the harness
+// reducer — generated from their index, simulated metrics-only, folded
+// into the partial in index order, and recycled — so the range's memory
+// footprint is independent of hi-lo.
+func RunCampaignRange(s CampaignSpec, point, lo, hi int) (metrics.Partial, error) {
+	if err := s.Validate(); err != nil {
+		return metrics.Partial{}, err
+	}
+	if point < 0 || point >= len(s.Points) {
+		return metrics.Partial{}, fmt.Errorf("campaign: point %d out of range [0, %d)", point, len(s.Points))
+	}
+	if lo < 0 || hi > s.Systems || lo > hi {
+		return metrics.Partial{}, fmt.Errorf("campaign: range [%d, %d) outside [0, %d)", lo, hi, s.Systems)
+	}
+	p := s.pointParams(point)
+	horizon := p.Horizon()
+	return harness.ReduceN(0, hi-lo, metrics.Partial{},
+		func(k int) (metrics.Partial, error) {
+			sys := gen.WithServer(gen.SystemAt(p, lo+k), p, s.Policy, 100)
+			r, err := RunSimulationMetrics(sys, horizon)
+			if err != nil {
+				return metrics.Partial{}, err
+			}
+			var one metrics.Partial
+			one.AddSystem(SimEvents(r))
+			r.Recycle()
+			return one, nil
+		},
+		func(acc metrics.Partial, _ int, one metrics.Partial) metrics.Partial {
+			acc.Merge(one)
+			return acc
+		})
+}
+
+// CurvePoint is one measured point of a schedulability curve.
+type CurvePoint struct {
+	// Density is the swept task density of this point.
+	Density float64 `json:"density"`
+	// Load is the offered aperiodic load fraction (CampaignSpec.Load).
+	Load float64 `json:"load"`
+	// Partial holds the point's merged metrics.
+	Partial metrics.Partial `json:"partial"`
+}
+
+// Curve is a completed campaign: the schedulability curve over the sweep.
+type Curve struct {
+	// Spec is the campaign that produced the curve.
+	Spec CampaignSpec `json:"spec"`
+	// Points are the measured sweep points, in spec order.
+	Points []CurvePoint `json:"points"`
+}
+
+// RunCampaign runs the whole campaign in-process through the streaming
+// reducer. The resulting curve is bit-identical to any sharded run of the
+// same spec (see RunCampaignSharded): partials are integer tallies with an
+// exact merge, and each point's fold order is fixed by system index.
+func RunCampaign(s CampaignSpec) (*Curve, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Curve{Spec: s, Points: make([]CurvePoint, 0, len(s.Points))}
+	for i, d := range s.Points {
+		part, err := RunCampaignRange(s, i, 0, s.Systems)
+		if err != nil {
+			return nil, fmt.Errorf("campaign point %d (density %v): %w", i, d, err)
+		}
+		c.Points = append(c.Points, CurvePoint{Density: d, Load: s.Load(d), Partial: part})
+	}
+	return c, nil
+}
+
+// Format renders the curve as the campaign's canonical text table. The
+// differential tests and the CI smoke compare this output byte for byte
+// across in-process, 1-shard and N-shard runs, so it must stay a pure
+// function of the curve.
+func (c *Curve) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Campaign: policy %v, %d systems/point, seed %d, server (%g, %g), horizon %d periods\n",
+		c.Spec.Policy, c.Spec.Systems, c.Spec.Seed,
+		c.Spec.ServerCapacity, c.Spec.ServerPeriod, c.Spec.HorizonPeriods)
+	fmt.Fprintf(&b, "%-8s %-6s %-12s %-8s %-13s %-12s %s\n",
+		"density", "load", "schedulable", "served", "mean-resp-tu", "max-resp-tu", "events")
+	for _, pt := range c.Points {
+		p := pt.Partial
+		fmt.Fprintf(&b, "%-8.2f %-6.2f %-12.4f %-8.4f %-13.4f %-12.4f %d\n",
+			pt.Density, pt.Load, p.ScheduleRatio(), p.ServedRatio(),
+			p.MeanResponseTU(), p.MaxResponseTU(), p.Events)
+	}
+	return b.String()
+}

@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+
+	"rtsj/internal/gen"
+	"rtsj/internal/harness"
+	"rtsj/internal/metrics"
+)
+
+func testCampaignSpec() CampaignSpec {
+	s := DefaultCampaignSpec()
+	s.Points = []float64{0.5, 2, 3.5}
+	s.Systems = 120
+	return s
+}
+
+// TestCampaignStreamingMatchesRetained pins the streaming reducer against
+// the obvious retained implementation: a serial loop that generates every
+// system, keeps its events and folds at the end. The curves must be
+// bit-identical — the reducer changes memory behaviour, never results.
+func TestCampaignStreamingMatchesRetained(t *testing.T) {
+	s := testCampaignSpec()
+	for point := range s.Points {
+		var want metrics.Partial
+		p := s.pointParams(point)
+		horizon := p.Horizon()
+		for i := 0; i < s.Systems; i++ {
+			sys := gen.WithServer(gen.SystemAt(p, i), p, s.Policy, 100)
+			r, err := RunSimulationMetrics(sys, horizon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want.AddSystem(SimEvents(r))
+		}
+		got, err := RunCampaignRange(s, point, 0, s.Systems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("point %d: streaming partial %+v, retained %+v", point, got, want)
+		}
+	}
+}
+
+// TestCampaignWorkerCountInvariance checks the whole curve is identical for
+// any worker count, byte for byte through Format.
+func TestCampaignWorkerCountInvariance(t *testing.T) {
+	s := testCampaignSpec()
+	defer harness.SetWorkers(0)
+	var want string
+	for _, workers := range []int{1, 2, 4, 0} {
+		harness.SetWorkers(workers)
+		c, err := RunCampaign(s)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want == "" {
+			want = c.Format()
+			continue
+		}
+		if got := c.Format(); got != want {
+			t.Fatalf("workers=%d: curve differs from workers=1:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+}
+
+// pipeShards starts n in-memory ServeShard workers and returns their
+// connections. Closing a connection's W ends that worker's session.
+func pipeShards(t *testing.T, n int) []ShardConn {
+	t.Helper()
+	conns := make([]ShardConn, n)
+	for i := range conns {
+		reqR, reqW := io.Pipe()
+		respR, respW := io.Pipe()
+		go func() {
+			err := ServeShard(reqR, respW)
+			respW.CloseWithError(err)
+		}()
+		conns[i] = ShardConn{R: respR, W: reqW}
+	}
+	return conns
+}
+
+func closeShards(conns []ShardConn) {
+	for _, c := range conns {
+		c.W.(io.Closer).Close()
+	}
+}
+
+// TestCampaignShardDifferential is the fabric's core differential: the same
+// spec run in-process, over 1 shard and over 4 shards (with a deliberately
+// odd batch size) must format to identical bytes.
+func TestCampaignShardDifferential(t *testing.T) {
+	s := testCampaignSpec()
+	inproc, err := RunCampaign(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := inproc.Format()
+	for _, tc := range []struct {
+		shards, batch int
+	}{
+		{1, 0},
+		{4, 0},
+		{4, 7}, // ragged ranges: last chunk of each point is short
+	} {
+		conns := pipeShards(t, tc.shards)
+		c, err := RunCampaignSharded(s, conns, tc.batch)
+		closeShards(conns)
+		if err != nil {
+			t.Fatalf("%d shards (batch %d): %v", tc.shards, tc.batch, err)
+		}
+		if got := c.Format(); got != want {
+			t.Fatalf("%d shards (batch %d): curve differs from in-process:\n%s\nvs\n%s",
+				tc.shards, tc.batch, got, want)
+		}
+	}
+}
+
+// TestServeShardMalformedRequest checks a worker rejects garbage input with
+// an error response and a non-nil session error.
+func TestServeShardMalformedRequest(t *testing.T) {
+	var out bytes.Buffer
+	err := ServeShard(strings.NewReader("{not json\n"), &out)
+	if err == nil || !strings.Contains(err.Error(), "malformed request") {
+		t.Fatalf("err = %v, want malformed request", err)
+	}
+	var resp ShardResponse
+	if derr := json.NewDecoder(&out).Decode(&resp); derr != nil {
+		t.Fatalf("no error response emitted: %v", derr)
+	}
+	if resp.Error == "" {
+		t.Fatal("error response carries no error")
+	}
+}
+
+// TestServeShardVersionMismatch checks an unknown protocol version is
+// refused rather than guessed around.
+func TestServeShardVersionMismatch(t *testing.T) {
+	req, _ := json.Marshal(ShardRequest{V: ShardProtocolVersion + 1, Spec: testCampaignSpec(), Hi: 1})
+	var out bytes.Buffer
+	err := ServeShard(bytes.NewReader(append(req, '\n')), &out)
+	if err == nil || !strings.Contains(err.Error(), "protocol version") {
+		t.Fatalf("err = %v, want protocol version mismatch", err)
+	}
+}
+
+// TestServeShardInvalidSpec checks an invalid spec arriving over the wire
+// fails the range with a clear error instead of computing nonsense.
+func TestServeShardInvalidSpec(t *testing.T) {
+	s := testCampaignSpec()
+	s.Systems = -5
+	req, _ := json.Marshal(ShardRequest{V: ShardProtocolVersion, Spec: s})
+	var out bytes.Buffer
+	err := ServeShard(bytes.NewReader(append(req, '\n')), &out)
+	if err == nil || !strings.Contains(err.Error(), "systems per point must be positive") {
+		t.Fatalf("err = %v, want spec validation error", err)
+	}
+}
+
+// fakeShard scripts a coordinator-side failure: it answers every request
+// with a fixed mutation of the honest response.
+func fakeShard(t *testing.T, mutate func(*ShardResponse)) ShardConn {
+	t.Helper()
+	reqR, reqW := io.Pipe()
+	respR, respW := io.Pipe()
+	go func() {
+		dec := json.NewDecoder(reqR)
+		enc := json.NewEncoder(respW)
+		for {
+			var req ShardRequest
+			if err := dec.Decode(&req); err != nil {
+				respW.CloseWithError(err)
+				return
+			}
+			part, err := RunCampaignRange(req.Spec, req.Point, req.Lo, req.Hi)
+			if err != nil {
+				respW.CloseWithError(err)
+				return
+			}
+			resp := ShardResponse{V: ShardProtocolVersion, Point: req.Point, Lo: req.Lo, Hi: req.Hi, Partial: &part}
+			mutate(&resp)
+			if err := enc.Encode(resp); err != nil {
+				respW.CloseWithError(err)
+				return
+			}
+		}
+	}()
+	return ShardConn{Name: "fake", R: respR, W: reqW}
+}
+
+// TestShardedRejectsBadResponses checks the coordinator validates every
+// response before merging: wrong coordinates, missing partials, partial
+// coverage and truncated sessions all fail with clear errors instead of
+// corrupting the curve.
+func TestShardedRejectsBadResponses(t *testing.T) {
+	s := testCampaignSpec()
+	s.Points = s.Points[:1]
+	s.Systems = 40
+	cases := []struct {
+		name   string
+		mutate func(*ShardResponse)
+		want   string
+	}{
+		{"wrong range", func(r *ShardResponse) { r.Lo++ }, "want point"},
+		{"missing partial", func(r *ShardResponse) { r.Partial = nil }, "carries no partial"},
+		{"short coverage", func(r *ShardResponse) { r.Partial.Systems-- }, "covers"},
+		{"worker error", func(r *ShardResponse) { r.Partial, r.Error = nil, "disk on fire" }, "disk on fire"},
+		{"stale version", func(r *ShardResponse) { r.V = 99 }, "protocol version"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			conn := fakeShard(t, tc.mutate)
+			_, err := RunCampaignSharded(s, []ShardConn{conn}, 0)
+			conn.W.(io.Closer).Close()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestShardedTruncatedSession checks a shard dying mid-campaign surfaces as
+// a read error, not a hang or a short merge.
+func TestShardedTruncatedSession(t *testing.T) {
+	s := testCampaignSpec()
+	s.Points = s.Points[:1]
+	s.Systems = 40
+	reqR, reqW := io.Pipe()
+	respR, respW := io.Pipe()
+	go func() {
+		// Swallow one request, then die without answering.
+		dec := json.NewDecoder(reqR)
+		var req ShardRequest
+		_ = dec.Decode(&req)
+		respW.Close()
+		io.Copy(io.Discard, reqR)
+	}()
+	_, err := RunCampaignSharded(s, []ShardConn{{Name: "dying", R: respR, W: reqW}}, 0)
+	reqW.Close()
+	if err == nil || !strings.Contains(err.Error(), "read response") {
+		t.Fatalf("err = %v, want read response failure", err)
+	}
+}
+
+// TestCampaignSpecValidate spot-checks the guard rails on wire-supplied
+// specs.
+func TestCampaignSpecValidate(t *testing.T) {
+	good := testCampaignSpec()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*CampaignSpec){
+		func(s *CampaignSpec) { s.Points = nil },
+		func(s *CampaignSpec) { s.Points = []float64{1, -2} },
+		func(s *CampaignSpec) { s.Systems = 0 },
+		func(s *CampaignSpec) { s.ServerPeriod = 0 },
+		func(s *CampaignSpec) { s.HorizonPeriods = -1 },
+		func(s *CampaignSpec) { s.Policy = 99 },
+	}
+	for i, mutate := range bad {
+		s := testCampaignSpec()
+		mutate(&s)
+		if s.Validate() == nil {
+			t.Errorf("case %d: invalid spec passed validation", i)
+		}
+	}
+}

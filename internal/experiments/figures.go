@@ -12,13 +12,13 @@ import (
 // ScenarioSpec is one of the paper's three worked examples (Table 1 task
 // set; Figures 2-4).
 type ScenarioSpec struct {
-	Number     int
+	Number     int     // scenario number (1-3); the figure is Number+1
 	Fire1      float64 // e1 fire instant (tu)
 	Fire2      float64 // e2 fire instant (tu)
 	H2Declared float64 // h2's declared cost (scenario 3 declares 1)
-	H2Actual   float64
-	HorizonTU  float64
-	Caption    string
+	H2Actual   float64 // h2's actual cost (tu)
+	HorizonTU  float64 // diagram window (tu)
+	Caption    string  // one-line description, as printed by cmd/scenarios
 }
 
 // Scenarios are the paper's three scenarios.
@@ -48,12 +48,12 @@ func (s ScenarioSpec) System(policy sim.ServerPolicy) sim.System {
 
 // Figure is one regenerated temporal diagram.
 type Figure struct {
-	Scenario ScenarioSpec
+	Scenario ScenarioSpec // the scenario the figure renders
 	// ExecGantt is the framework execution (what the paper's figure
 	// shows); IdealGantt is the literature-policy simulation the paper
 	// contrasts it with in the text.
 	ExecGantt  string
-	IdealGantt string
+	IdealGantt string   // the ideal literature-policy schedule
 	Events     []string // per-event outcome lines
 }
 

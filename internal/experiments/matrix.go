@@ -15,7 +15,7 @@ import (
 // policy RTSS implements — the two the paper evaluates (PS, DS), the three
 // families it cites (SS, PE, slack stealing) and the background baseline.
 type PolicyMatrix struct {
-	Policies []sim.ServerPolicy
+	Policies []sim.ServerPolicy // row order of the matrix
 	// Cells[policy][set] holds the per-set summary.
 	Cells map[sim.ServerPolicy]map[string]metrics.SetSummary
 }

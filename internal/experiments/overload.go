@@ -66,8 +66,8 @@ type OverloadParams struct {
 	// Kernel, MaxGoroutines and PeriodicActivation configure the
 	// executive, exactly as in ExecModel.
 	Kernel             exec.Kernel
-	MaxGoroutines      int
-	PeriodicActivation bool
+	MaxGoroutines      int  // pooled-worker cap; 0 runs a goroutine per thread
+	PeriodicActivation bool // activation-driven periodic dispatch
 }
 
 // DefaultOverloadParams returns the canonical configuration of a scenario
@@ -91,27 +91,28 @@ func DefaultOverloadParams(scenario string) OverloadParams {
 // OverloadResult summarizes one overload run (for the saturation sweep,
 // the whole sweep).
 type OverloadResult struct {
-	Scenario string
+	Scenario string // scenario name the run came from
 	// Events is the number of generated aperiodic events; Released counts
 	// the ones that actually reached a server before the horizon.
 	Events   int
-	Released int
+	Released int // events that reached a server before the horizon
 	// Served/Interrupted/Rejected/Shed/Pending partition the released
 	// events (the conservation invariant).
 	Served      int
-	Interrupted int
-	Rejected    int
-	Shed        int
-	Pending     int
+	Interrupted int // interrupted mid-service at capacity exhaustion
+	Rejected    int // refused admission on declared cost
+	Shed        int // dropped at release by the bounded pending queue
+	Pending     int // still queued when the horizon closed
 	// PeriodicReleases and PeriodicMisses cover the hard periodic set;
 	// the miss-storm scenario requires PeriodicMisses == 0.
 	PeriodicReleases int
-	PeriodicMisses   int
+	PeriodicMisses   int // hard periodic deadline misses
 	// CapacityFloor is the deepest pre-clamp capacity excursion observed.
 	CapacityFloor rtime.Duration
 	// PeakWorkers is the pool high-water mark (0 in per-thread mode).
 	PeakWorkers int
-	FinalTime   rtime.Time
+	// FinalTime is the virtual clock when the run stopped.
+	FinalTime rtime.Time
 	// Fingerprint hashes periodic completions and per-event outcomes in
 	// schedule order: runs are behavior-identical iff it matches.
 	Fingerprint uint64

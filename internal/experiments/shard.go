@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"rtsj/internal/harness"
+	"rtsj/internal/metrics"
+)
+
+// ShardProtocolVersion is the campaign shard wire-protocol version. Both
+// sides echo it in every message; a mismatch is rejected, never guessed
+// around.
+const ShardProtocolVersion = 1
+
+// ShardRequest is one line of the shard protocol: newline-delimited JSON
+// from coordinator to worker, asking for the partial metrics of systems
+// [Lo, Hi) of one sweep point. The spec travels in full with every request,
+// so workers are stateless and any worker can serve any range.
+type ShardRequest struct {
+	// V is the protocol version (ShardProtocolVersion).
+	V int `json:"v"`
+	// Spec is the campaign being computed.
+	Spec CampaignSpec `json:"spec"`
+	// Point indexes Spec.Points.
+	Point int `json:"point"`
+	// Lo and Hi bound the half-open system-index range [Lo, Hi).
+	Lo int `json:"lo"`
+	Hi int `json:"hi"` // exclusive upper bound of the range
+}
+
+// ShardResponse is the worker's answer line: the request's coordinates
+// echoed back with the computed partial, or an error. The echo lets the
+// coordinator verify it merges exactly the ranges it asked for.
+type ShardResponse struct {
+	// V is the protocol version (ShardProtocolVersion).
+	V int `json:"v"`
+	// Point, Lo and Hi echo the request's coordinates.
+	Point int `json:"point"`
+	Lo    int `json:"lo"` // echoed range start
+	Hi    int `json:"hi"` // echoed range end, exclusive
+	// Partial is the computed range metrics; nil when Error is set.
+	Partial *metrics.Partial `json:"partial,omitempty"`
+	// Error carries the worker-side failure, empty on success.
+	Error string `json:"error,omitempty"`
+}
+
+// ServeShard runs one shard-worker session: it decodes range requests from
+// r line by line, computes each through the streaming reducer
+// (RunCampaignRange) and encodes one response line per request to w, until
+// EOF. A malformed or version-mismatched request, or a failing range, is
+// answered with an error response (when the stream still permits one) and
+// terminates the session with a non-nil error — a confused coordinator
+// must not be half-served.
+//
+// cmd/shard wires this to stdin/stdout or to accepted TCP connections.
+func ServeShard(r io.Reader, w io.Writer) error {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	respond := func(resp ShardResponse) error {
+		resp.V = ShardProtocolVersion
+		if err := enc.Encode(resp); err != nil {
+			return fmt.Errorf("shard: write response: %w", err)
+		}
+		return bw.Flush()
+	}
+	for {
+		var req ShardRequest
+		switch err := dec.Decode(&req); {
+		case err == io.EOF:
+			return nil
+		case err != nil:
+			werr := fmt.Errorf("shard: malformed request: %w", err)
+			_ = respond(ShardResponse{Error: werr.Error()})
+			return werr
+		}
+		if req.V != ShardProtocolVersion {
+			werr := fmt.Errorf("shard: protocol version %d, want %d", req.V, ShardProtocolVersion)
+			_ = respond(ShardResponse{Point: req.Point, Lo: req.Lo, Hi: req.Hi, Error: werr.Error()})
+			return werr
+		}
+		part, err := RunCampaignRange(req.Spec, req.Point, req.Lo, req.Hi)
+		if err != nil {
+			_ = respond(ShardResponse{Point: req.Point, Lo: req.Lo, Hi: req.Hi, Error: err.Error()})
+			return fmt.Errorf("shard: range [%d, %d) of point %d: %w", req.Lo, req.Hi, req.Point, err)
+		}
+		if err := respond(ShardResponse{Point: req.Point, Lo: req.Lo, Hi: req.Hi, Partial: &part}); err != nil {
+			return err
+		}
+	}
+}
+
+// ShardConn is one connected shard worker from the coordinator's side: a
+// subprocess's stdin/stdout pipes, a TCP connection, or an in-memory pipe
+// in tests. Name labels the worker in error messages.
+type ShardConn struct {
+	// Name labels the worker in error messages ("shard 2", an address).
+	Name string
+	// R carries the worker's response lines.
+	R io.Reader
+	// W carries the coordinator's request lines.
+	W io.Writer
+}
+
+// shardChunk is one (point, range) work unit of a sharded campaign.
+type shardChunk struct {
+	point, lo, hi int
+}
+
+// RunCampaignSharded runs the campaign across the connected shard workers
+// and merges their partials into the curve. Each sweep point's index space
+// is split into chunks of batch systems (batch <= 0 picks a default that
+// keeps every shard several chunks deep); chunks are dealt round-robin and
+// each worker processes its chunks in order over its connection.
+//
+// The merge is deterministic by construction: responses are validated
+// against the exact ranges requested (coordinates echoed, one response per
+// chunk, partial system counts matching the range width), sorted by
+// (point, range start) and merged in that index order. Because partials
+// are exact integer tallies, the resulting curve is bit-identical to
+// RunCampaign's, for any shard count and any batch size — the fabric's
+// differential invariant.
+func RunCampaignSharded(s CampaignSpec, shards []ShardConn, batch int) (*Curve, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("campaign: no shard connections")
+	}
+	if batch <= 0 {
+		// Several chunks per shard and point: enough slack to absorb uneven
+		// chunk costs without making protocol round-trips dominate.
+		batch = (s.Systems + 4*len(shards) - 1) / (4 * len(shards))
+		if batch < 1 {
+			batch = 1
+		}
+	}
+	var chunks []shardChunk
+	for point := range s.Points {
+		for lo := 0; lo < s.Systems; lo += batch {
+			hi := lo + batch
+			if hi > s.Systems {
+				hi = s.Systems
+			}
+			chunks = append(chunks, shardChunk{point: point, lo: lo, hi: hi})
+		}
+	}
+
+	// One worker goroutine per shard connection drives that shard's chunk
+	// queue synchronously: write a request, read the response, validate the
+	// echo. Shards run concurrently; determinism comes from the exact merge
+	// below, not from any ordering here.
+	type ranged struct {
+		shardChunk
+		part metrics.Partial
+	}
+	perShard, err := harness.MapN(len(shards), len(shards), func(si int) ([]ranged, error) {
+		conn := shards[si]
+		name := conn.Name
+		if name == "" {
+			name = fmt.Sprintf("shard %d", si)
+		}
+		enc := json.NewEncoder(conn.W)
+		dec := json.NewDecoder(bufio.NewReader(conn.R))
+		var out []ranged
+		for ci := si; ci < len(chunks); ci += len(shards) {
+			ch := chunks[ci]
+			req := ShardRequest{V: ShardProtocolVersion, Spec: s, Point: ch.point, Lo: ch.lo, Hi: ch.hi}
+			if err := enc.Encode(req); err != nil {
+				return nil, fmt.Errorf("campaign: %s: write request: %w", name, err)
+			}
+			var resp ShardResponse
+			if err := dec.Decode(&resp); err != nil {
+				return nil, fmt.Errorf("campaign: %s: read response for point %d range [%d, %d): %w",
+					name, ch.point, ch.lo, ch.hi, err)
+			}
+			if resp.Error != "" {
+				return nil, fmt.Errorf("campaign: %s: %s", name, resp.Error)
+			}
+			if resp.V != ShardProtocolVersion {
+				return nil, fmt.Errorf("campaign: %s: protocol version %d, want %d", name, resp.V, ShardProtocolVersion)
+			}
+			if resp.Point != ch.point || resp.Lo != ch.lo || resp.Hi != ch.hi {
+				return nil, fmt.Errorf("campaign: %s: response for point %d range [%d, %d), want point %d range [%d, %d)",
+					name, resp.Point, resp.Lo, resp.Hi, ch.point, ch.lo, ch.hi)
+			}
+			if resp.Partial == nil {
+				return nil, fmt.Errorf("campaign: %s: response for point %d range [%d, %d) carries no partial",
+					name, ch.point, ch.lo, ch.hi)
+			}
+			if resp.Partial.Systems != ch.hi-ch.lo {
+				return nil, fmt.Errorf("campaign: %s: partial for point %d range [%d, %d) covers %d systems, want %d",
+					name, ch.point, ch.lo, ch.hi, resp.Partial.Systems, ch.hi-ch.lo)
+			}
+			out = append(out, ranged{shardChunk: ch, part: *resp.Partial})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Deterministic merge: all validated partials, ordered by system index.
+	var all []ranged
+	for _, rs := range perShard {
+		all = append(all, rs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].point != all[j].point {
+			return all[i].point < all[j].point
+		}
+		return all[i].lo < all[j].lo
+	})
+	if len(all) != len(chunks) {
+		return nil, fmt.Errorf("campaign: merged %d ranges, want %d", len(all), len(chunks))
+	}
+	c := &Curve{Spec: s, Points: make([]CurvePoint, 0, len(s.Points))}
+	for point, d := range s.Points {
+		var part metrics.Partial
+		for _, r := range all {
+			if r.point == point {
+				part.Merge(r.part)
+			}
+		}
+		if part.Systems != s.Systems {
+			return nil, fmt.Errorf("campaign: point %d merged %d systems, want %d", point, part.Systems, s.Systems)
+		}
+		c.Points = append(c.Points, CurvePoint{Density: d, Load: s.Load(d), Partial: part})
+	}
+	return c, nil
+}

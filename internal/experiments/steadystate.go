@@ -34,7 +34,7 @@ type SteadyStateParams struct {
 	// Kernel and MaxGoroutines configure the executive (MaxGoroutines 0 =
 	// goroutine-per-thread).
 	Kernel        exec.Kernel
-	MaxGoroutines int
+	MaxGoroutines int // pooled-worker cap; 0 runs a goroutine per thread
 	// Activation selects the activation dispatch path (SpawnPeriodic); the
 	// default false runs classic parked loops for comparison.
 	Activation bool
@@ -59,7 +59,7 @@ type SteadyStateResult struct {
 	// Entities is the configured entity count; Activations counts
 	// completed releases across all of them.
 	Entities    int
-	Activations int
+	Activations int // completed releases across all entities
 	// Missed counts releases skipped because a body overran (zero at the
 	// default utilization).
 	Missed int
@@ -67,7 +67,7 @@ type SteadyStateResult struct {
 	TotalConsumed rtime.Duration
 	// Horizon and FinalTime delimit the run.
 	Horizon   rtime.Time
-	FinalTime rtime.Time
+	FinalTime rtime.Time // virtual clock when the run stopped
 	// PeakWorkers is the pool goroutine high-water mark (0 in
 	// goroutine-per-thread mode).
 	PeakWorkers int

@@ -34,7 +34,7 @@ type StressParams struct {
 	// Kernel and MaxGoroutines configure the executive (MaxGoroutines 0 =
 	// goroutine-per-thread).
 	Kernel        exec.Kernel
-	MaxGoroutines int
+	MaxGoroutines int // pooled-worker cap; 0 runs a goroutine per thread
 	// PeriodicActivation runs the background threads on the activation
 	// dispatch path (exec.SpawnPeriodic) instead of parked loops: same
 	// schedule, no pinned worker per background thread.
@@ -62,14 +62,14 @@ func DefaultStressParams() StressParams {
 
 // StressResult summarizes one stress run.
 type StressResult struct {
-	Jobs          int
-	Completed     int
-	Dropped       int // jobs removed by the fault plan (never spawned)
-	BackgroundRun int // background activations completed
-	TotalConsumed rtime.Duration
-	Horizon       rtime.Time
-	FinalTime     rtime.Time
-	PeakWorkers   int // pool goroutine high-water mark (0 in per-thread mode)
+	Jobs          int            // sporadic jobs configured
+	Completed     int            // sporadic jobs run to completion
+	Dropped       int            // jobs removed by the fault plan (never spawned)
+	BackgroundRun int            // background activations completed
+	TotalConsumed rtime.Duration // virtual time consumed by sporadic jobs
+	Horizon       rtime.Time     // configured stop instant
+	FinalTime     rtime.Time     // virtual clock when the run stopped
+	PeakWorkers   int            // pool goroutine high-water mark (0 in per-thread mode)
 	// Fingerprint hashes every job completion (index, instant) in
 	// schedule order: two runs are schedule-identical iff it matches.
 	Fingerprint uint64

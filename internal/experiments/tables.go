@@ -12,7 +12,9 @@ import (
 
 // Cell is one (AART, AIR, ASR) triple of a table.
 type Cell struct {
-	AART, AIR, ASR float64
+	AART float64 // average aperiodic response time, in time units
+	AIR  float64 // aperiodic interruption ratio
+	ASR  float64 // aperiodic service ratio
 }
 
 // SetKeys are the six generated sets, keyed "(density, stddev)" as in the
@@ -66,10 +68,10 @@ var (
 
 // Table is one regenerated measurement table.
 type Table struct {
-	ID       string
-	Title    string
-	Measured map[string]Cell
-	Paper    map[string]Cell
+	ID       string          // paper table number ("2"-"5")
+	Title    string          // paper caption
+	Measured map[string]Cell // regenerated cells, keyed by SetKeys
+	Paper    map[string]Cell // the paper's published values
 }
 
 // Mode selects simulation (ideal policy on RTSS) or execution (framework on
@@ -101,6 +103,7 @@ func RunSet(key string, policy sim.ServerPolicy, mode Mode, model ExecModel) (me
 				return metrics.Summary{}, err
 			}
 			evs = SimEvents(r)
+			r.Recycle() // events copy everything the summary needs
 		case Execution:
 			m := model
 			m.SysIndex = i

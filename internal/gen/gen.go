@@ -53,7 +53,7 @@ type Params struct {
 	// ServerCapacity and ServerPeriod define the task server, in time
 	// units.
 	ServerCapacity float64
-	ServerPeriod   float64
+	ServerPeriod   float64 // server replenishment period, in time units
 	// NbGeneration is the number of systems to generate.
 	NbGeneration int
 	// Seed makes the generation reproducible across platforms.
@@ -91,44 +91,73 @@ func Generate(p Params) []sim.System {
 	}
 	r := newRNG(uint64(p.Seed))
 	out := make([]sim.System, 0, p.NbGeneration)
-	horizonTU := p.ServerPeriod * float64(p.HorizonPeriods)
 	for n := 0; n < p.NbGeneration; n++ {
-		var arrivals []float64
-		switch p.Arrivals {
-		case MMPPArrivals:
-			arrivals = mmppArrivals(p, r, horizonTU)
-		case PoissonArrivals:
-			lambda := p.TaskDensity * float64(p.HorizonPeriods)
-			count := r.poisson(lambda)
-			arrivals = make([]float64, count)
-			for i := range arrivals {
-				arrivals[i] = r.float64() * horizonTU
-			}
-		default: // PerPeriodArrivals
-			perPeriod := int(p.TaskDensity + 0.5)
-			for k := 0; k < p.HorizonPeriods; k++ {
-				for i := 0; i < perPeriod; i++ {
-					arrivals = append(arrivals,
-						(float64(k)+r.float64())*p.ServerPeriod)
-				}
-			}
-		}
-		sortFloats(arrivals)
-		jobs := make([]sim.AperiodicJob, 0, len(arrivals))
-		for i, a := range arrivals {
-			cost := p.AverageCost + p.StdDeviation*r.norm()
-			if cost < MinCost {
-				cost = MinCost
-			}
-			jobs = append(jobs, sim.AperiodicJob{
-				Name:    jobName(i),
-				Release: rtime.AtTU(a),
-				Cost:    rtime.TUs(cost),
-			})
-		}
-		out = append(out, sim.System{Aperiodics: jobs})
+		out = append(out, genSystem(p, r))
 	}
 	return out
+}
+
+// SystemAt returns system i of the unbounded, index-addressable campaign
+// population for p. Unlike Generate, whose systems share one sequential
+// random stream (system n depends on every draw before it), each index
+// derives its own splitmix stream from (Seed, i): SystemAt is a pure
+// function of (p, i), so a shard worker can generate any index range of a
+// campaign without replaying the prefix — the foundation of the campaign
+// fabric's deterministic sharding. NbGeneration is ignored.
+//
+// SystemAt(p, i) and Generate(p)[i] draw from different streams and do not
+// produce the same systems; campaigns are a distinct population from the
+// paper's NbGeneration sets.
+func SystemAt(p Params, i int) sim.System {
+	if p.HorizonPeriods <= 0 {
+		p.HorizonPeriods = 10
+	}
+	// Per-index stream derivation mirrors Noise: the seed and the index mix
+	// through distinct odd constants so neighbouring indices land in
+	// unrelated splitmix states.
+	r := newRNG(uint64(p.Seed)*0x9E3779B97F4A7C15 ^ (uint64(i)+1)*0xA24BAED4963EE407)
+	return genSystem(p, r)
+}
+
+// genSystem draws one system from r: the shared body of Generate (one
+// sequential stream across systems) and SystemAt (one stream per index).
+// The caller must have defaulted HorizonPeriods.
+func genSystem(p Params, r *rng) sim.System {
+	horizonTU := p.ServerPeriod * float64(p.HorizonPeriods)
+	var arrivals []float64
+	switch p.Arrivals {
+	case MMPPArrivals:
+		arrivals = mmppArrivals(p, r, horizonTU)
+	case PoissonArrivals:
+		lambda := p.TaskDensity * float64(p.HorizonPeriods)
+		count := r.poisson(lambda)
+		arrivals = make([]float64, count)
+		for i := range arrivals {
+			arrivals[i] = r.float64() * horizonTU
+		}
+	default: // PerPeriodArrivals
+		perPeriod := int(p.TaskDensity + 0.5)
+		for k := 0; k < p.HorizonPeriods; k++ {
+			for i := 0; i < perPeriod; i++ {
+				arrivals = append(arrivals,
+					(float64(k)+r.float64())*p.ServerPeriod)
+			}
+		}
+	}
+	sortFloats(arrivals)
+	jobs := make([]sim.AperiodicJob, 0, len(arrivals))
+	for i, a := range arrivals {
+		cost := p.AverageCost + p.StdDeviation*r.norm()
+		if cost < MinCost {
+			cost = MinCost
+		}
+		jobs = append(jobs, sim.AperiodicJob{
+			Name:    jobName(i),
+			Release: rtime.AtTU(a),
+			Cost:    rtime.TUs(cost),
+		})
+	}
+	return sim.System{Aperiodics: jobs}
 }
 
 // mmppArrivals walks the two-state chain across the horizon: each sojourn

@@ -1,0 +1,69 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+)
+
+func campaignParams() Params {
+	return Params{
+		TaskDensity:    2,
+		AverageCost:    3,
+		StdDeviation:   2,
+		ServerCapacity: 4,
+		ServerPeriod:   6,
+		Seed:           1983,
+		HorizonPeriods: 10,
+	}
+}
+
+// TestSystemAtPure pins the index-addressable contract: SystemAt is a pure
+// function of (params, index), independent of call order — the property
+// that lets any shard generate any range without replaying a prefix.
+func TestSystemAtPure(t *testing.T) {
+	p := campaignParams()
+	a := SystemAt(p, 17)
+	// Interleave other indices, out of order, before asking again.
+	_ = SystemAt(p, 3)
+	_ = SystemAt(p, 99)
+	b := SystemAt(p, 17)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("SystemAt(p, 17) differs between calls")
+	}
+}
+
+// TestSystemAtDistinctIndices checks neighbouring indices draw from
+// unrelated streams: a campaign population, not one system repeated.
+func TestSystemAtDistinctIndices(t *testing.T) {
+	p := campaignParams()
+	a, b := SystemAt(p, 0), SystemAt(p, 1)
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("systems 0 and 1 are identical")
+	}
+	if len(a.Aperiodics) == 0 || len(b.Aperiodics) == 0 {
+		t.Fatal("generated systems carry no aperiodics")
+	}
+}
+
+// TestSystemAtSeedSeparation checks different seeds give different
+// populations at the same index.
+func TestSystemAtSeedSeparation(t *testing.T) {
+	p := campaignParams()
+	q := p
+	q.Seed = p.Seed + 1
+	if reflect.DeepEqual(SystemAt(p, 5), SystemAt(q, 5)) {
+		t.Fatal("seed change did not change system 5")
+	}
+}
+
+// TestSystemAtDefaultsHorizon checks the zero HorizonPeriods defaults to
+// the paper's ten periods, like Generate.
+func TestSystemAtDefaultsHorizon(t *testing.T) {
+	p := campaignParams()
+	p.HorizonPeriods = 0
+	q := campaignParams()
+	q.HorizonPeriods = 10
+	if !reflect.DeepEqual(SystemAt(p, 2), SystemAt(q, 2)) {
+		t.Fatal("HorizonPeriods=0 does not default to 10")
+	}
+}

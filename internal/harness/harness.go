@@ -8,6 +8,14 @@
 // preserves item order in its result slice regardless of completion order,
 // which makes every downstream reduction (metrics.Aggregate, table cells)
 // bit-identical for any worker count.
+//
+// Map retains every result until the whole batch completes — fine for a
+// table's ten systems, prohibitive for a million-system campaign. Reduce
+// and ReduceN keep the same bounded pool and the same deterministic,
+// index-ordered aggregation contract, but fold each result into an
+// accumulator as soon as its turn comes and let the result be recycled:
+// steady-state memory is O(workers + reorder window), independent of the
+// item count.
 package harness
 
 import (
@@ -156,4 +164,125 @@ func MapN[R any](workers, n int, fn func(i int) (R, error)) ([]R, error) {
 		idx[i] = i
 	}
 	return Map(workers, idx, func(i, _ int) (R, error) { return fn(i) })
+}
+
+// Reduce applies fn to every item concurrently and folds each result into
+// the accumulator strictly in item order: the fold sequence is identical to
+// a serial loop, so any accumulator — even one built on float arithmetic —
+// is bit-identical for every worker count. Unlike Map, nothing is retained:
+// a result is folded (and can be recycled by the fold) as soon as all lower
+// indices have been folded, and at most a bounded reorder window of results
+// is ever held, so steady-state memory is O(workers), not O(len(items)).
+//
+// fold runs serialized (never concurrently with itself) and must be cheap;
+// it must not call back into the harness. On error, Reduce waits for
+// in-flight work, discards the partial accumulator and returns the zero A
+// with the error of the lowest-indexed failure, like Map.
+func Reduce[T, R, A any](workers int, items []T, acc A, fn func(i int, item T) (R, error), fold func(acc A, i int, r R) A) (A, error) {
+	return ReduceN(workers, len(items), acc, func(i int) (R, error) { return fn(i, items[i]) }, fold)
+}
+
+// ReduceN is Reduce over the index range [0, n), without materializing an
+// item slice: the streaming unit of the campaign fabric, where systems are
+// generated on demand from their index (gen.SystemAt) and folded into
+// mergeable partial metrics as they complete.
+func ReduceN[R, A any](workers, n int, acc A, fn func(i int) (R, error), fold func(acc A, i int, r R) A) (A, error) {
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return acc, nil
+	}
+	// The reorder window bounds how far claims may run ahead of the fold
+	// cursor: completed-but-unfoldable results are held (at most window of
+	// them) until their turn. A few slots per worker absorb uneven unit
+	// costs without letting a slow low index pile up the whole campaign.
+	window := 4 * workers
+	if window < 16 {
+		window = 16
+	}
+	st := &reduceState[R, A]{
+		pending: make(map[int]R, window),
+		window:  window,
+		errIdx:  -1,
+		acc:     acc,
+	}
+	st.cond = sync.NewCond(&st.mu)
+	var wg sync.WaitGroup
+	budget := int64(Workers() - 1)
+	for w := 1; w < workers && acquireWorker(budget); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer extraWorkers.Add(-1)
+			st.run(n, fn, fold)
+		}()
+	}
+	st.run(n, fn, fold)
+	wg.Wait()
+	if st.errIdx != -1 {
+		var zero A
+		return zero, st.err
+	}
+	return st.acc, nil
+}
+
+// reduceState is the shared claim/fold machine of one ReduceN call.
+type reduceState[R, A any] struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	claim   int // next index to hand to a worker
+	done    int // next index to fold (all below are folded)
+	pending map[int]R
+	window  int
+	errIdx  int
+	err     error
+	acc     A
+}
+
+func (st *reduceState[R, A]) run(n int, fn func(i int) (R, error), fold func(acc A, i int, r R) A) {
+	for {
+		st.mu.Lock()
+		// Claims are issued in increasing order (the lowest-index error
+		// guarantee relies on it) and gated by the reorder window. Blocking
+		// cannot deadlock: if every worker waits here, every claimed index
+		// is in pending, so the fold loop below has already advanced done.
+		for st.errIdx == -1 && st.claim < n && st.claim-st.done >= st.window {
+			st.cond.Wait()
+		}
+		if st.errIdx != -1 || st.claim >= n {
+			st.mu.Unlock()
+			return
+		}
+		i := st.claim
+		st.claim++
+		st.mu.Unlock()
+
+		r, err := fn(i)
+
+		st.mu.Lock()
+		if err != nil {
+			if st.errIdx == -1 || i < st.errIdx {
+				st.errIdx, st.err = i, err
+			}
+			st.cond.Broadcast()
+			st.mu.Unlock()
+			return
+		}
+		st.pending[i] = r
+		for {
+			next, ok := st.pending[st.done]
+			if !ok {
+				break
+			}
+			delete(st.pending, st.done)
+			st.acc = fold(st.acc, st.done, next)
+			st.done++
+		}
+		st.cond.Broadcast()
+		st.mu.Unlock()
+	}
 }

@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestReduceMatchesMap pins the streaming contract: for every worker count,
+// Reduce folds exactly the values Map would retain, in exactly item order.
+func TestReduceMatchesMap(t *testing.T) {
+	items := make([]int, 500)
+	for i := range items {
+		items[i] = i * 3
+	}
+	fn := func(i, item int) (int, error) { return item*item + i, nil }
+	want, err := Map(1, items, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0), 0} {
+		got, err := Reduce(workers, items, []int(nil),
+			fn,
+			func(acc []int, i int, r int) []int {
+				if i != len(acc) {
+					t.Errorf("workers=%d: folded index %d at fold position %d", workers, i, len(acc))
+				}
+				return append(acc, r)
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: folded %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestReduceNEmpty checks the n=0 fast path returns the seed accumulator.
+func TestReduceNEmpty(t *testing.T) {
+	acc, err := ReduceN(4, 0, 42, func(i int) (int, error) { return 0, nil },
+		func(acc, i, r int) int { return acc + r })
+	if err != nil || acc != 42 {
+		t.Fatalf("got (%d, %v), want (42, nil)", acc, err)
+	}
+}
+
+// TestReduceLowestIndexError checks the error contract matches Map: the
+// lowest-indexed failure wins regardless of which worker hits one first.
+func TestReduceLowestIndexError(t *testing.T) {
+	boom := func(i int) error { return fmt.Errorf("unit %d failed", i) }
+	for _, workers := range []int{1, 4, 8} {
+		_, err := ReduceN(workers, 300, 0,
+			func(i int) (int, error) {
+				if i%7 == 3 {
+					return 0, boom(i)
+				}
+				return i, nil
+			},
+			func(acc, i, r int) int { return acc + r })
+		if err == nil || err.Error() != "unit 3 failed" {
+			t.Fatalf("workers=%d: err = %v, want unit 3 failed", workers, err)
+		}
+	}
+}
+
+// TestReduceWindowBound checks that claims never run more than the reorder
+// window ahead of the fold cursor, so at most O(window) results are ever
+// held — the bounded-memory half of the streaming contract.
+func TestReduceWindowBound(t *testing.T) {
+	const workers = 4
+	window := int64(4 * workers)
+	if window < 16 {
+		window = 16
+	}
+	var folded atomic.Int64
+	var started atomic.Int64
+	var maxAhead atomic.Int64
+	_, err := ReduceN(workers, 5000, 0,
+		func(i int) (int, error) {
+			ahead := started.Add(1) - folded.Load()
+			for {
+				m := maxAhead.Load()
+				if ahead <= m || maxAhead.CompareAndSwap(m, ahead) {
+					break
+				}
+			}
+			return i, nil
+		},
+		func(acc, i, r int) int {
+			folded.Add(1)
+			return acc + r
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// started <= claim and folded lags the fold cursor read, so the
+	// observed run-ahead can exceed the window only by the workers still
+	// in flight.
+	if got := maxAhead.Load(); got > window+workers {
+		t.Fatalf("claims ran %d ahead of the fold cursor, want <= %d", got, window+workers)
+	}
+}
+
+// TestReduceErrorDiscardsAccumulator checks a failing reduce returns the
+// zero accumulator, not a partial fold.
+func TestReduceErrorDiscardsAccumulator(t *testing.T) {
+	sentinel := errors.New("stop")
+	acc, err := ReduceN(2, 100, 7,
+		func(i int) (int, error) {
+			if i == 50 {
+				return 0, sentinel
+			}
+			return 1, nil
+		},
+		func(acc, i, r int) int { return acc + r })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if acc != 0 {
+		t.Fatalf("acc = %d, want zero value on error", acc)
+	}
+}

@@ -16,11 +16,11 @@ import (
 
 // Event is one aperiodic event outcome, the unit of measurement.
 type Event struct {
-	Name        string
-	Released    rtime.Time
-	Finished    rtime.Time
-	Served      bool
-	Interrupted bool
+	Name        string     // event name, matching the job it came from
+	Released    rtime.Time // firing instant
+	Finished    rtime.Time // completion instant, when Served
+	Served      bool       // the handler ran to completion
+	Interrupted bool       // the handler was interrupted mid-service
 	// Shed marks an event dropped at registration by an overloaded server
 	// (core.TaskServer.SetMaxPending): never queued, never served.
 	Shed bool
@@ -68,9 +68,9 @@ func FromRecords(recs []*core.EventRecord) []Event {
 
 // Summary holds the per-system measures of Section 6.1.
 type Summary struct {
-	Total       int
-	Served      int
-	Interrupted int
+	Total       int // aperiodic events observed
+	Served      int // events served to completion
+	Interrupted int // events interrupted mid-service
 	// Shed counts events dropped at registration under overload.
 	Shed int
 	// AvgResponse is the average response time of served events, in tu.
@@ -79,7 +79,7 @@ type Summary struct {
 	MaxResponse float64
 	// ServedRatio is Served/Total; InterruptedRatio is Interrupted/Total.
 	ServedRatio      float64
-	InterruptedRatio float64
+	InterruptedRatio float64 // Interrupted/Total
 }
 
 // Summarize computes the per-system measures.

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"fmt"
+
+	"rtsj/internal/rtime"
+)
+
+// Partial is a mergeable partial aggregate of per-system campaign
+// outcomes: the unit a campaign shard computes for one system-index range
+// and the coordinator merges into curve points.
+//
+// Every field is an integer tally — counts, and response times in integer
+// virtual-time ticks (rtime's fixed-point nanoseconds) — so Merge is exact
+// and associative: folding systems one at a time in-process, merging
+// per-range partials from one shard, or merging partials from N shards in
+// any grouping all produce the same Partial bit for bit. That exactness is
+// what makes the campaign fabric's "in-process == 1 shard == N shards"
+// differential guarantee possible; a float accumulator would drift with
+// the grouping. Ratios and averages are derived views (ScheduleRatio,
+// ServedRatio, MeanResponseTU), computed only after merging.
+type Partial struct {
+	// Systems counts the systems aggregated into this partial.
+	Systems int `json:"systems"`
+	// Schedulable counts systems whose every aperiodic event was served —
+	// the numerator of the schedulability curve.
+	Schedulable int `json:"schedulable"`
+	// Events counts all aperiodic events across the systems.
+	Events int `json:"events"`
+	// Served counts events served to completion.
+	Served int `json:"served"`
+	// Interrupted counts events interrupted mid-service.
+	Interrupted int `json:"interrupted"`
+	// Shed counts events dropped at registration by an overloaded server.
+	Shed int `json:"shed"`
+	// RespTicks is the summed response time of served events, in integer
+	// virtual-time ticks. The tick sum of a million-system campaign still
+	// fits comfortably in an int64 (1e6 systems x ~30 events x ~60 ms of
+	// virtual time is ~2e18 at worst; typical campaigns are far below).
+	RespTicks int64 `json:"resp_ticks"`
+	// MaxRespTicks is the largest single served-event response, in ticks.
+	MaxRespTicks int64 `json:"max_resp_ticks"`
+}
+
+// AddSystem folds one system's event outcomes into the partial.
+func (p *Partial) AddSystem(events []Event) {
+	p.Systems++
+	all := true
+	for _, e := range events {
+		p.Events++
+		if e.Interrupted {
+			p.Interrupted++
+		}
+		if e.Shed {
+			p.Shed++
+		}
+		if !e.Served {
+			all = false
+			continue
+		}
+		p.Served++
+		ticks := int64(e.Finished.Sub(e.Released))
+		p.RespTicks += ticks
+		if ticks > p.MaxRespTicks {
+			p.MaxRespTicks = ticks
+		}
+	}
+	if all {
+		p.Schedulable++
+	}
+}
+
+// Merge folds another partial into p. Because every field is an integer
+// tally, Merge is exact, associative and commutative: any shard split of a
+// campaign merges to the same result.
+func (p *Partial) Merge(q Partial) {
+	p.Systems += q.Systems
+	p.Schedulable += q.Schedulable
+	p.Events += q.Events
+	p.Served += q.Served
+	p.Interrupted += q.Interrupted
+	p.Shed += q.Shed
+	p.RespTicks += q.RespTicks
+	if q.MaxRespTicks > p.MaxRespTicks {
+		p.MaxRespTicks = q.MaxRespTicks
+	}
+}
+
+// ScheduleRatio returns the fraction of systems whose every event was
+// served — one point of the schedulability curve.
+func (p Partial) ScheduleRatio() float64 {
+	if p.Systems == 0 {
+		return 0
+	}
+	return float64(p.Schedulable) / float64(p.Systems)
+}
+
+// ServedRatio returns the fraction of events served to completion.
+func (p Partial) ServedRatio() float64 {
+	if p.Events == 0 {
+		return 0
+	}
+	return float64(p.Served) / float64(p.Events)
+}
+
+// MeanResponseTU returns the mean response time of served events, in paper
+// time units.
+func (p Partial) MeanResponseTU() float64 {
+	if p.Served == 0 {
+		return 0
+	}
+	return rtime.Duration(p.RespTicks).TUs() / float64(p.Served)
+}
+
+// MaxResponseTU returns the largest served-event response, in paper time
+// units.
+func (p Partial) MaxResponseTU() float64 {
+	return rtime.Duration(p.MaxRespTicks).TUs()
+}
+
+// String renders the derived measures, for logs and error messages.
+func (p Partial) String() string {
+	return fmt.Sprintf("systems=%d schedulable=%.4f served=%.4f mean-resp=%.2ftu",
+		p.Systems, p.ScheduleRatio(), p.ServedRatio(), p.MeanResponseTU())
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"rtsj/internal/rtime"
 	"rtsj/internal/trace"
@@ -50,7 +51,8 @@ type Result struct {
 	Jobs []*Job
 	// PeriodicMisses counts periodic job deadline misses.
 	PeriodicMisses int
-	Horizon        rtime.Time
+	// Horizon is the simulated window the run covered.
+	Horizon rtime.Time
 
 	// The periodic/aperiodic partition is computed once on first use and
 	// cached: metrics code calls Aperiodics repeatedly.
@@ -76,6 +78,31 @@ func (r *Result) partition() {
 		}
 	}
 	r.split = true
+}
+
+// jobPool recycles Job records across runs: the engine allocates every job
+// from it (fully overwriting the record on reuse), and Result.Recycle
+// returns a run's jobs to it. A campaign that recycles each result as soon
+// as its metrics are folded keeps a bounded working set of Job records no
+// matter how many systems it simulates.
+var jobPool = sync.Pool{New: func() any { return new(Job) }}
+
+// jobsSlicePool recycles the Result.Jobs backing arrays alongside the jobs.
+var jobsSlicePool = sync.Pool{New: func() any { return new([]*Job) }}
+
+// Recycle returns the result's Job records and their backing slice to the
+// engine's allocation pools. Call it only once, and only when nothing will
+// touch the result again — including the slices returned by Aperiodics and
+// Periodics and the *Job pointers inside them (names and other values
+// copied out of jobs stay valid). Recycling is optional: results that are
+// never recycled are simply garbage collected.
+func (r *Result) Recycle() {
+	for _, j := range r.Jobs {
+		jobPool.Put(j)
+	}
+	jobs := r.Jobs[:0]
+	jobsSlicePool.Put(&jobs)
+	r.Jobs, r.aperiodics, r.periodics, r.split = nil, nil, nil, false
 }
 
 // Aperiodics returns the aperiodic job records, in release order.
@@ -157,6 +184,7 @@ type engine struct {
 }
 
 func (e *engine) init() {
+	e.jobs = *jobsSlicePool.Get().(*[]*Job)
 	for i, t := range e.sys.Periodics {
 		e.cal.push(release{at: t.Offset, idx: i})
 		if e.rec {
@@ -196,7 +224,10 @@ func (e *engine) deliverReleases() {
 func (e *engine) releasePeriodic(r release) {
 	t := &e.sys.Periodics[r.idx]
 	rel := r.at
-	j := &Job{
+	j := jobPool.Get().(*Job)
+	// The whole-record composite assignment clears every stale field of a
+	// recycled job.
+	*j = Job{
 		Periodic:  true,
 		Release:   rel,
 		AbsDL:     rel.Add(t.RelDeadline()),
@@ -229,7 +260,8 @@ func (e *engine) releaseAperiodic(r release) {
 	if a.Deadline > 0 {
 		dl = a.Release.Add(a.Deadline)
 	}
-	j := &Job{
+	j := jobPool.Get().(*Job)
+	*j = Job{
 		name:      name,
 		Release:   a.Release,
 		AbsDL:     dl,

@@ -28,7 +28,7 @@ import (
 
 // PeriodicTask describes a hard periodic task.
 type PeriodicTask struct {
-	Name     string
+	Name     string         // trace row and job-name prefix
 	Offset   rtime.Time     // first release
 	Period   rtime.Duration // > 0
 	Cost     rtime.Duration // worst-case execution time
@@ -46,8 +46,8 @@ func (t PeriodicTask) RelDeadline() rtime.Duration {
 
 // AperiodicJob describes one aperiodic (or sporadic) arrival.
 type AperiodicJob struct {
-	Name    string
-	Release rtime.Time
+	Name    string         // display name; "" defaults to AperiodicName(index)
+	Release rtime.Time     // arrival instant
 	Cost    rtime.Duration // actual execution demand
 	// Declared is the cost announced to the server (the handler's cost
 	// parameter in the paper). 0 means Declared = Cost. Scenario 3 of the
@@ -136,11 +136,11 @@ func (p ServerPolicy) String() string {
 
 // ServerSpec configures the aperiodic task server of a system.
 type ServerSpec struct {
-	Name     string // trace row name; defaults to the policy abbreviation
-	Policy   ServerPolicy
-	Capacity rtime.Duration
-	Period   rtime.Duration
-	Priority int // the paper requires the server at the highest priority
+	Name     string         // trace row name; defaults to the policy abbreviation
+	Policy   ServerPolicy   // servicing policy
+	Capacity rtime.Duration // service budget per period
+	Period   rtime.Duration // replenishment period
+	Priority int            // the paper requires the server at the highest priority
 }
 
 func (s ServerSpec) name() string {
@@ -153,9 +153,9 @@ func (s ServerSpec) name() string {
 // System is a complete workload: periodic tasks, aperiodic arrivals and an
 // optional task server.
 type System struct {
-	Periodics  []PeriodicTask
-	Aperiodics []AperiodicJob
-	Server     *ServerSpec
+	Periodics  []PeriodicTask // hard periodic task set
+	Aperiodics []AperiodicJob // aperiodic arrivals, any order
+	Server     *ServerSpec    // aperiodic task server; nil means background
 }
 
 // Validate reports structural problems in the system description.
@@ -206,28 +206,28 @@ func (s System) Utilization() float64 {
 // Job is a runtime instance of a periodic task release or an aperiodic
 // arrival.
 type Job struct {
-	Periodic bool
-	Release  rtime.Time
-	AbsDL    rtime.Time // rtime.Forever when no deadline
-	Cost     rtime.Duration
-	Declared rtime.Duration
-	Value    float64
-	Priority int
+	Periodic bool           // periodic release, not an aperiodic arrival
+	Release  rtime.Time     // release instant
+	AbsDL    rtime.Time     // absolute deadline; rtime.Forever when none
+	Cost     rtime.Duration // actual execution demand
+	Declared rtime.Duration // cost announced to the server
+	Value    float64        // D-OVER completion reward
+	Priority int            // fixed priority (FP only)
 
-	Remaining rtime.Duration
-	Started   bool
-	Finished  bool
-	Finish    rtime.Time
+	Remaining rtime.Duration // demand not yet executed
+	Started   bool           // the job has run at least one slice
+	Finished  bool           // the job completed its demand
+	Finish    rtime.Time     // completion instant, when Finished
 	// Aborted is set when a server interrupted the job (limited policies)
 	// or D-OVER abandoned it.
 	Aborted bool
-	AbortAt rtime.Time
+	AbortAt rtime.Time // abort instant, when Aborted
 
 	// Entity and ServedBy control trace attribution: periodic jobs run on
 	// their own row; aperiodics served by a server appear on the server's
 	// row with the job name as label.
-	Entity string
-	Label  string
+	Entity string // trace row the job's slices are drawn on
+	Label  string // slice label on the server row; "" uses Name
 
 	// name is the display name, formatted lazily for periodic releases so
 	// the engine's release loop stays free of string formatting; instance

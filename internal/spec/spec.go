@@ -37,9 +37,9 @@ const (
 
 // File is a parsed system description.
 type File struct {
-	Policy  PolicyKind
-	System  sim.System
-	Horizon rtime.Time
+	Policy  PolicyKind // dispatcher the file selects
+	System  sim.System // the described workload
+	Horizon rtime.Time // observation window (default 60 tu)
 	// Faults is the optional deterministic fault-injection plan declared
 	// by a faults directive; nil when absent.
 	Faults *faults.Plan
