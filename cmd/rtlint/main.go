@@ -1,0 +1,197 @@
+// Command rtlint is the repository's determinism and concurrency lint
+// gate, run by CI next to doccheck. It proves the reproduction contract's
+// house rules at compile time through four analyzers (see internal/lint):
+//
+//   - nondeterm: no wall-clock, math/rand, environment reads or global
+//     mutable state in the deterministic packages;
+//   - maporder: no order-sensitive folds over map iteration;
+//   - intmerge: metrics merge/Partial paths stay all-integer, so shard
+//     merges are exact;
+//   - guarded: fields documented "guarded by <mu>" are only accessed
+//     under that mutex.
+//
+// Usage:
+//
+//	rtlint [-pkgs dir,dir,...] [-json] [-list] [pattern ...]
+//
+// Patterns are package directories; a trailing /... audits every package
+// below the prefix (e.g. ./internal/...). With no patterns and no -pkgs,
+// ./internal/... is audited. Findings print as
+// "file:line:col: analyzer: message" (or a JSON array under -json);
+// exit status is 1 when findings exist, 2 on usage or load errors.
+//
+// A finding is suppressed by a directive on, or directly above, its line:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory and the analyzer must exist: malformed
+// directives are themselves findings.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"rtsj/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable main: it returns the process exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rtlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	pkgs := fs.String("pkgs", "", "comma-separated package directories to audit (alternative to patterns)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	var dirs []string
+	for _, d := range strings.Split(*pkgs, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			dirs = append(dirs, d)
+		}
+	}
+	patterns := fs.Args()
+	if len(dirs) == 0 && len(patterns) == 0 {
+		patterns = []string{"./internal/..."}
+	}
+	for _, pat := range patterns {
+		expanded, err := expandPattern(pat)
+		if err != nil {
+			fmt.Fprintf(stderr, "rtlint: %v\n", err)
+			return 2
+		}
+		dirs = append(dirs, expanded...)
+	}
+	if len(dirs) == 0 {
+		fmt.Fprintf(stderr, "rtlint: no packages matched\n")
+		return 2
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintf(stderr, "rtlint: %v\n", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "rtlint: %v\n", err)
+		return 2
+	}
+
+	var findings []lint.Finding
+	for _, dir := range dirs {
+		p, err := loader.Load(dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "rtlint: %v\n", err)
+			return 2
+		}
+		findings = append(findings, lint.Run(p, analyzers)...)
+	}
+
+	if *jsonOut {
+		if findings == nil {
+			findings = []lint.Finding{} // a run with no findings is [], not null
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "rtlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+		if len(findings) == 0 {
+			fmt.Fprintln(stdout, "rtlint: ok")
+		} else {
+			fmt.Fprintf(stderr, "rtlint: %d finding(s)\n", len(findings))
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// expandPattern resolves one command-line pattern to package directories:
+// a plain directory stands for itself; a /... suffix walks every
+// subdirectory containing Go files (testdata and hidden directories are
+// skipped, as the go tool does).
+func expandPattern(pat string) ([]string, error) {
+	root, recursive := strings.CutSuffix(pat, "/...")
+	if root == "" || root == "." {
+		root = "."
+	}
+	if !recursive {
+		return []string{pat}, nil
+	}
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if name == "testdata" || (len(name) > 1 && (name[0] == '.' || name[0] == '_')) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("expand %s: %w", pat, err)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// findModuleRoot walks up from the working directory to the enclosing
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}

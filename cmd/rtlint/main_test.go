@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chdirRepoRoot moves the test into the module root so relative package
+// patterns resolve as they do for CI invocations.
+func chdirRepoRoot(t *testing.T) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(filepath.Join(wd, "..", ".."))
+}
+
+func TestCleanTreeExitsZero(t *testing.T) {
+	chdirRepoRoot(t)
+	var out, errb strings.Builder
+	if code := run([]string{"./internal/..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "rtlint: ok") {
+		t.Errorf("stdout = %q, want rtlint: ok", out.String())
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	chdirRepoRoot(t)
+	// The fixture trees are deliberately dirty; point rtlint straight at
+	// one (testdata is skipped by pattern expansion, so name it with -pkgs).
+	var out, errb strings.Builder
+	code := run([]string{"-pkgs", "internal/lint/testdata/maporder"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "maporder: append to names") {
+		t.Errorf("stdout missing the fixture finding:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "finding(s)") {
+		t.Errorf("stderr missing the summary: %q", errb.String())
+	}
+}
+
+// TestJSONShape pins the -json output contract: an array (empty for a
+// clean run, never null) of objects with file/line/col/analyzer/message.
+func TestJSONShape(t *testing.T) {
+	chdirRepoRoot(t)
+
+	var clean strings.Builder
+	if code := run([]string{"-json", "./internal/metrics"}, &clean, &strings.Builder{}); code != 0 {
+		t.Fatalf("clean -json run exited %d", code)
+	}
+	if got := strings.TrimSpace(clean.String()); got != "[]" {
+		t.Errorf("clean run must emit [], got %q", got)
+	}
+
+	var dirty strings.Builder
+	code := run([]string{"-json", "-pkgs", "internal/lint/testdata/guarded"}, &dirty, &strings.Builder{})
+	if code != 1 {
+		t.Fatalf("dirty -json run exited %d, want 1", code)
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(dirty.String()), &findings); err != nil {
+		t.Fatalf("-json output is not a findings array: %v\n%s", err, dirty.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("dirty -json run produced an empty array")
+	}
+	for _, f := range findings {
+		if f.File == "" || f.Line <= 0 || f.Col <= 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("incomplete finding in JSON output: %+v", f)
+		}
+		if f.Analyzer != "guarded" {
+			t.Errorf("finding from analyzer %q, want guarded: %+v", f.Analyzer, f)
+		}
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	chdirRepoRoot(t)
+	var out strings.Builder
+	if code := run([]string{"-list"}, &out, &strings.Builder{}); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, name := range []string{"nondeterm", "maporder", "intmerge", "guarded"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownDirExitsTwo(t *testing.T) {
+	chdirRepoRoot(t)
+	var errb strings.Builder
+	if code := run([]string{"-pkgs", "internal/no-such-package"}, &strings.Builder{}, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2 (load error)", code)
+	}
+}
+
+// TestPatternExpansion pins that /... expansion finds the internal tree
+// and skips testdata.
+func TestPatternExpansion(t *testing.T) {
+	chdirRepoRoot(t)
+	dirs, err := expandPattern("./internal/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(dirs, " ")
+	for _, want := range []string{"internal/sim", "internal/exec", "internal/lint"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("expansion missing %s: %v", want, dirs)
+		}
+	}
+	if strings.Contains(joined, "testdata") {
+		t.Errorf("expansion must skip testdata: %v", dirs)
+	}
+}

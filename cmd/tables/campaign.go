@@ -25,6 +25,7 @@ type campaignFlags struct {
 	shardBin  *string
 	shardAddr *string
 	batch     *int
+	format    *string
 }
 
 func registerCampaignFlags() campaignFlags {
@@ -38,6 +39,7 @@ func registerCampaignFlags() campaignFlags {
 		shardBin:  flag.String("shard-bin", "shard", "campaign: shard worker binary for -shards"),
 		shardAddr: flag.String("shard-addr", "", "campaign: comma-separated TCP shard addresses (overrides -shards)"),
 		batch:     flag.Int("batch", 0, "campaign: systems per shard request (0: auto)"),
+		format:    flag.String("format", "text", "campaign: output format (text, csv, json)"),
 	}
 }
 
@@ -84,12 +86,31 @@ func runCampaign(cf campaignFlags, workers int) {
 		os.Exit(2)
 	}
 
+	switch *cf.format {
+	case "text", "csv", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "tables: -format: unknown format %q (want text, csv or json)\n", *cf.format)
+		os.Exit(2)
+	}
+
 	curve, err := dispatchCampaign(spec, cf, workers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tables: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Print(curve.Format())
+	switch *cf.format {
+	case "csv":
+		fmt.Print(curve.FormatCSV())
+	case "json":
+		out, err := curve.FormatJSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+	default:
+		fmt.Print(curve.Format())
+	}
 }
 
 func dispatchCampaign(spec experiments.CampaignSpec, cf campaignFlags, workers int) (*experiments.Curve, error) {

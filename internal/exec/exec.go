@@ -146,9 +146,9 @@ type Thread struct {
 
 	// DirectKernel handoff: park/wake under ex.mu.
 	cond      *sync.Cond
-	scheduled bool
-	killed    bool
-	heapIdx   int // position in the ready heap, -1 when not enqueued
+	scheduled bool // wake flag of the park/wake protocol; guarded by mu
+	killed    bool // shutdown kill flag; guarded by mu
+	heapIdx   int  // position in the ready heap, -1 when not enqueued
 
 	// Pooled mode: whether the body has been handed to a worker yet (a
 	// thread that never starts never costs a goroutine), and the fate
@@ -257,7 +257,7 @@ type Exec struct {
 	mu     sync.Mutex
 	main   sync.Cond // parks the Run goroutine while threads hold the CPU
 	reap   sync.Cond // Shutdown waits here for killed threads to die
-	mainOn bool      // main has been scheduled (run is over)
+	mainOn bool      // main has been scheduled (run is over); guarded by mu
 
 	// Run-loop state shared with dispatch (DirectKernel).
 	phase      runPhase

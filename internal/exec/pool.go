@@ -47,13 +47,13 @@ import "sync"
 type workerPool struct {
 	mu          sync.Mutex
 	cond        sync.Cond
-	queue       []*Thread // unstarted threads awaiting a worker
-	avail       int       // workers free to take from the queue (idle or finishing up)
-	live        int       // all pool goroutines
-	peak        int       // high-water mark of live
-	spawned     int       // total goroutines ever created
-	maxResident int
-	closed      bool
+	queue       []*Thread // unstarted threads awaiting a worker; guarded by mu
+	avail       int       // workers free to take from the queue (idle or finishing up); guarded by mu
+	live        int       // all pool goroutines; guarded by mu
+	peak        int       // high-water mark of live; guarded by mu
+	spawned     int       // total goroutines ever created; guarded by mu
+	maxResident int       // set once by init, immutable afterwards
+	closed      bool      // guarded by mu
 }
 
 func (p *workerPool) init(maxResident int) {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -177,6 +178,35 @@ func RunCampaign(s CampaignSpec) (*Curve, error) {
 		c.Points = append(c.Points, CurvePoint{Density: d, Load: s.Load(d), Partial: part})
 	}
 	return c, nil
+}
+
+// FormatCSV renders the curve as a machine-readable CSV table for
+// plotting: a header row, then one row per sweep point. Ratios and
+// response times are derived views of the integer partials, printed with
+// enough digits to round-trip; the raw tallies ride along so downstream
+// tools can re-derive or re-merge.
+func (c *Curve) FormatCSV() string {
+	var b strings.Builder
+	b.WriteString("density,load,schedulable,served,mean_resp_tu,max_resp_tu,systems,events,served_events,interrupted,shed,resp_ticks\n")
+	for _, pt := range c.Points {
+		p := pt.Partial
+		fmt.Fprintf(&b, "%g,%g,%g,%g,%g,%g,%d,%d,%d,%d,%d,%d\n",
+			pt.Density, pt.Load, p.ScheduleRatio(), p.ServedRatio(),
+			p.MeanResponseTU(), p.MaxResponseTU(),
+			p.Systems, p.Events, p.Served, p.Interrupted, p.Shed, p.RespTicks)
+	}
+	return b.String()
+}
+
+// FormatJSON renders the curve as indented JSON: the full spec and the
+// per-point integer partials, the lossless machine-readable form (the
+// derived ratios are recomputable from the tallies).
+func (c *Curve) FormatJSON() (string, error) {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("campaign: encode curve: %w", err)
+	}
+	return string(data) + "\n", nil
 }
 
 // Format renders the curve as the campaign's canonical text table. The

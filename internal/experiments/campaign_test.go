@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"strings"
 	"testing"
@@ -245,6 +246,134 @@ func TestShardedTruncatedSession(t *testing.T) {
 	reqW.Close()
 	if err == nil || !strings.Contains(err.Error(), "read response") {
 		t.Fatalf("err = %v, want read response failure", err)
+	}
+}
+
+// TestCurveFormats pins the machine-readable renderings: CSV has the
+// stable header and one row per sweep point, and JSON round-trips the
+// curve losslessly (the partials are integer tallies, so equality is
+// exact).
+func TestCurveFormats(t *testing.T) {
+	s := testCampaignSpec()
+	c, err := RunCampaign(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	csv := c.FormatCSV()
+	lines := strings.Split(strings.TrimSuffix(csv, "\n"), "\n")
+	const header = "density,load,schedulable,served,mean_resp_tu,max_resp_tu,systems,events,served_events,interrupted,shed,resp_ticks"
+	if lines[0] != header {
+		t.Errorf("CSV header = %q, want %q", lines[0], header)
+	}
+	if len(lines) != 1+len(c.Points) {
+		t.Fatalf("CSV has %d data rows, want %d:\n%s", len(lines)-1, len(c.Points), csv)
+	}
+	for i, line := range lines[1:] {
+		cols := strings.Split(line, ",")
+		if len(cols) != 12 {
+			t.Errorf("CSV row %d has %d columns, want 12: %q", i, len(cols), line)
+		}
+		if !strings.HasPrefix(line, fmt.Sprintf("%g,", c.Points[i].Density)) {
+			t.Errorf("CSV row %d does not lead with density %g: %q", i, c.Points[i].Density, line)
+		}
+	}
+
+	js, err := c.FormatJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Curve
+	if err := json.Unmarshal([]byte(js), &back); err != nil {
+		t.Fatalf("JSON output does not parse: %v", err)
+	}
+	if fmt.Sprintf("%+v", back.Spec) != fmt.Sprintf("%+v", s) {
+		t.Errorf("JSON round-trip changed the spec: %+v vs %+v", back.Spec, s)
+	}
+	if len(back.Points) != len(c.Points) {
+		t.Fatalf("JSON round-trip has %d points, want %d", len(back.Points), len(c.Points))
+	}
+	for i := range c.Points {
+		if back.Points[i] != c.Points[i] {
+			t.Errorf("point %d changed through JSON: %+v vs %+v", i, back.Points[i], c.Points[i])
+		}
+	}
+}
+
+// TestShardedRetryOnSurvivor injects a bad first response on one of two
+// shards: the coordinator must drop the faulty shard, replay its ranges
+// on the survivor, and still produce the in-process curve byte for byte.
+func TestShardedRetryOnSurvivor(t *testing.T) {
+	s := testCampaignSpec()
+	inproc, err := RunCampaign(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := inproc.Format()
+
+	responses := 0
+	bad := fakeShard(t, func(r *ShardResponse) {
+		if responses == 0 {
+			r.Partial, r.Error = nil, "injected fault"
+		}
+		responses++
+	})
+	good := pipeShards(t, 1)[0]
+	c, err := RunCampaignSharded(s, []ShardConn{bad, good}, 7)
+	bad.W.(io.Closer).Close()
+	closeShards([]ShardConn{good})
+	if err != nil {
+		t.Fatalf("campaign failed despite a surviving shard: %v", err)
+	}
+	if got := c.Format(); got != want {
+		t.Fatalf("retried curve differs from in-process:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestShardedRetryFailsToo pins the single-retry contract: when a range
+// fails on its second shard as well, the campaign fails with both errors.
+func TestShardedRetryFailsToo(t *testing.T) {
+	s := testCampaignSpec()
+	s.Points = s.Points[:1]
+	s.Systems = 40
+	// With batch 10 the point splits into 4 chunks: shard 0 is dealt
+	// lo 0 and 20, shard 1 lo 10 and 30. Shard 0 dies immediately; shard 1
+	// answers its own two chunks, then fails every retried range.
+	bad := fakeShard(t, func(r *ShardResponse) { r.Partial, r.Error = nil, "dead on arrival" })
+	served := 0
+	flaky := fakeShard(t, func(r *ShardResponse) {
+		if served >= 2 {
+			r.Partial, r.Error = nil, "retry refused"
+		}
+		served++
+	})
+	_, err := RunCampaignSharded(s, []ShardConn{bad, flaky}, 10)
+	bad.W.(io.Closer).Close()
+	flaky.W.(io.Closer).Close()
+	if err == nil || !strings.Contains(err.Error(), "retry refused") || !strings.Contains(err.Error(), "dead on arrival") {
+		t.Fatalf("err = %v, want both the first failure and the retry failure", err)
+	}
+}
+
+// TestShardedAllShardsFail checks there is no retry pass without a
+// survivor: the first pass's own error surfaces unchanged.
+func TestShardedAllShardsFail(t *testing.T) {
+	s := testCampaignSpec()
+	s.Points = s.Points[:1]
+	s.Systems = 40
+	conns := []ShardConn{
+		fakeShard(t, func(r *ShardResponse) { r.Partial, r.Error = nil, "disk on fire" }),
+		fakeShard(t, func(r *ShardResponse) { r.Partial, r.Error = nil, "disk on fire" }),
+	}
+	_, err := RunCampaignSharded(s, conns, 10)
+	for _, c := range conns {
+		c.W.(io.Closer).Close()
+	}
+	if err == nil || !strings.Contains(err.Error(), "disk on fire") {
+		t.Fatalf("err = %v, want the shard failure", err)
+	}
+	if strings.Contains(err.Error(), "retry") {
+		t.Fatalf("err = %v, must not claim a retry happened", err)
 	}
 }
 

@@ -111,11 +111,76 @@ type shardChunk struct {
 	point, lo, hi int
 }
 
+// rangedPartial is one validated shard answer: the chunk it covers plus
+// the computed partial.
+type rangedPartial struct {
+	shardChunk
+	part metrics.Partial
+}
+
+// shardSession is the coordinator's end of one worker connection. The
+// encoder/decoder pair persists across passes, so a retry on a surviving
+// shard continues the same byte stream instead of losing buffered
+// read-ahead to a fresh decoder.
+type shardSession struct {
+	name string
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// run drives the session through work synchronously: write a request,
+// read the response, validate the echo. It returns the validated partials
+// of the chunks that completed; on failure, the completed prefix rides
+// along with the error so the coordinator can retry only the remainder
+// elsewhere.
+func (ss *shardSession) run(s CampaignSpec, work []shardChunk) ([]rangedPartial, error) {
+	out := make([]rangedPartial, 0, len(work))
+	for _, ch := range work {
+		req := ShardRequest{V: ShardProtocolVersion, Spec: s, Point: ch.point, Lo: ch.lo, Hi: ch.hi}
+		if err := ss.enc.Encode(req); err != nil {
+			return out, fmt.Errorf("campaign: %s: write request: %w", ss.name, err)
+		}
+		var resp ShardResponse
+		if err := ss.dec.Decode(&resp); err != nil {
+			return out, fmt.Errorf("campaign: %s: read response for point %d range [%d, %d): %w",
+				ss.name, ch.point, ch.lo, ch.hi, err)
+		}
+		if resp.Error != "" {
+			return out, fmt.Errorf("campaign: %s: %s", ss.name, resp.Error)
+		}
+		if resp.V != ShardProtocolVersion {
+			return out, fmt.Errorf("campaign: %s: protocol version %d, want %d", ss.name, resp.V, ShardProtocolVersion)
+		}
+		if resp.Point != ch.point || resp.Lo != ch.lo || resp.Hi != ch.hi {
+			return out, fmt.Errorf("campaign: %s: response for point %d range [%d, %d), want point %d range [%d, %d)",
+				ss.name, resp.Point, resp.Lo, resp.Hi, ch.point, ch.lo, ch.hi)
+		}
+		if resp.Partial == nil {
+			return out, fmt.Errorf("campaign: %s: response for point %d range [%d, %d) carries no partial",
+				ss.name, ch.point, ch.lo, ch.hi)
+		}
+		if resp.Partial.Systems != ch.hi-ch.lo {
+			return out, fmt.Errorf("campaign: %s: partial for point %d range [%d, %d) covers %d systems, want %d",
+				ss.name, ch.point, ch.lo, ch.hi, resp.Partial.Systems, ch.hi-ch.lo)
+		}
+		out = append(out, rangedPartial{shardChunk: ch, part: *resp.Partial})
+	}
+	return out, nil
+}
+
 // RunCampaignSharded runs the campaign across the connected shard workers
 // and merges their partials into the curve. Each sweep point's index space
 // is split into chunks of batch systems (batch <= 0 picks a default that
 // keeps every shard several chunks deep); chunks are dealt round-robin and
 // each worker processes its chunks in order over its connection.
+//
+// A failing shard does not abort the campaign outright: the shard is
+// dropped, and every range it had not answered (including the one that
+// failed) is dealt round-robin over the surviving shards and retried
+// once. The campaign fails only when a retried range fails again or no
+// shard survived the first pass. Retries cannot perturb the result: a
+// range's partial is the same exact integer tally whichever worker
+// computes it, and the merge orders by system index, not by provenance.
 //
 // The merge is deterministic by construction: responses are validated
 // against the exact ranges requested (coordinates echoed, one response per
@@ -150,64 +215,73 @@ func RunCampaignSharded(s CampaignSpec, shards []ShardConn, batch int) (*Curve, 
 		}
 	}
 
-	// One worker goroutine per shard connection drives that shard's chunk
-	// queue synchronously: write a request, read the response, validate the
-	// echo. Shards run concurrently; determinism comes from the exact merge
-	// below, not from any ordering here.
-	type ranged struct {
-		shardChunk
-		part metrics.Partial
-	}
-	perShard, err := harness.MapN(len(shards), len(shards), func(si int) ([]ranged, error) {
-		conn := shards[si]
+	sessions := make([]*shardSession, len(shards))
+	for si, conn := range shards {
 		name := conn.Name
 		if name == "" {
 			name = fmt.Sprintf("shard %d", si)
 		}
-		enc := json.NewEncoder(conn.W)
-		dec := json.NewDecoder(bufio.NewReader(conn.R))
-		var out []ranged
-		for ci := si; ci < len(chunks); ci += len(shards) {
-			ch := chunks[ci]
-			req := ShardRequest{V: ShardProtocolVersion, Spec: s, Point: ch.point, Lo: ch.lo, Hi: ch.hi}
-			if err := enc.Encode(req); err != nil {
-				return nil, fmt.Errorf("campaign: %s: write request: %w", name, err)
-			}
-			var resp ShardResponse
-			if err := dec.Decode(&resp); err != nil {
-				return nil, fmt.Errorf("campaign: %s: read response for point %d range [%d, %d): %w",
-					name, ch.point, ch.lo, ch.hi, err)
-			}
-			if resp.Error != "" {
-				return nil, fmt.Errorf("campaign: %s: %s", name, resp.Error)
-			}
-			if resp.V != ShardProtocolVersion {
-				return nil, fmt.Errorf("campaign: %s: protocol version %d, want %d", name, resp.V, ShardProtocolVersion)
-			}
-			if resp.Point != ch.point || resp.Lo != ch.lo || resp.Hi != ch.hi {
-				return nil, fmt.Errorf("campaign: %s: response for point %d range [%d, %d), want point %d range [%d, %d)",
-					name, resp.Point, resp.Lo, resp.Hi, ch.point, ch.lo, ch.hi)
-			}
-			if resp.Partial == nil {
-				return nil, fmt.Errorf("campaign: %s: response for point %d range [%d, %d) carries no partial",
-					name, ch.point, ch.lo, ch.hi)
-			}
-			if resp.Partial.Systems != ch.hi-ch.lo {
-				return nil, fmt.Errorf("campaign: %s: partial for point %d range [%d, %d) covers %d systems, want %d",
-					name, ch.point, ch.lo, ch.hi, resp.Partial.Systems, ch.hi-ch.lo)
-			}
-			out = append(out, ranged{shardChunk: ch, part: *resp.Partial})
+		sessions[si] = &shardSession{
+			name: name,
+			enc:  json.NewEncoder(conn.W),
+			dec:  json.NewDecoder(bufio.NewReader(conn.R)),
 		}
-		return out, nil
-	})
-	if err != nil {
-		return nil, err
 	}
 
-	// Deterministic merge: all validated partials, ordered by system index.
-	var all []ranged
-	for _, rs := range perShard {
-		all = append(all, rs...)
+	// First pass: one goroutine per shard connection drives that shard's
+	// chunk queue. Shards run concurrently; determinism comes from the
+	// exact merge below, not from any ordering here. A shard's failure is
+	// captured, not propagated: its unanswered chunks feed the retry pass.
+	type shardResult struct {
+		done     []rangedPartial
+		leftover []shardChunk
+		err      error
+	}
+	firstPass, _ := harness.MapN(len(shards), len(shards), func(si int) (shardResult, error) {
+		var work []shardChunk
+		for ci := si; ci < len(chunks); ci += len(shards) {
+			work = append(work, chunks[ci])
+		}
+		done, err := sessions[si].run(s, work)
+		return shardResult{done: done, leftover: work[len(done):], err: err}, nil
+	})
+
+	var all []rangedPartial
+	var leftover []shardChunk
+	var survivors []*shardSession
+	var firstErr error
+	for si, r := range firstPass {
+		all = append(all, r.done...)
+		if r.err != nil {
+			leftover = append(leftover, r.leftover...)
+			if firstErr == nil {
+				firstErr = r.err
+			}
+		} else {
+			survivors = append(survivors, sessions[si])
+		}
+	}
+
+	// Retry pass: each leftover range is retried once, dealt round-robin
+	// over the shards that completed their first pass cleanly.
+	if firstErr != nil {
+		if len(survivors) == 0 {
+			return nil, firstErr
+		}
+		retries, _ := harness.MapN(len(survivors), len(survivors), func(k int) (shardResult, error) {
+			var work []shardChunk
+			for ci := k; ci < len(leftover); ci += len(survivors) {
+				work = append(work, leftover[ci])
+			}
+			done, err := survivors[k].run(s, work)
+			return shardResult{done: done, err: err}, nil
+		})
+		for _, r := range retries {
+			if r.err != nil {
+				return nil, fmt.Errorf("campaign: retry after failure (%v) failed too: %w", firstErr, r.err)
+			}
+			all = append(all, r.done...)
+		}
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].point != all[j].point {

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Guarded enforces the repository's mutex comment convention: a struct
+// field whose doc or line comment says "guarded by <mu>" may only be
+// accessed inside functions that visibly lock that mutex (a <mu>.Lock or
+// <mu>.RLock call anywhere in the body — the intra-function heuristic),
+// or that declare they run with the lock held (a name ending in "Locked",
+// or a doc comment containing "<mu> held", "holding <mu>" or
+// "caller holds"). Accesses that are safe for a subtler reason
+// (pre-concurrency initialization, publication through another fence)
+// take a //lint:ignore guarded <reason> directive, which doubles as
+// documentation.
+var Guarded = &Analyzer{
+	Name: "guarded",
+	Doc:  "fields documented \"guarded by <mu>\" must only be accessed under that mutex (intra-function heuristic)",
+	Run:  runGuarded,
+}
+
+// guardedRe extracts the mutex name from a field comment.
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+func runGuarded(pass *Pass) {
+	// Pass 1: collect guarded field objects and their mutex names.
+	guards := map[types.Object]string{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				mu := guardName(f)
+				if mu == "" {
+					continue
+				}
+				for _, name := range f.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						guards[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guards) == 0 {
+		return
+	}
+
+	// Pass 2: audit every function's accesses.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			locked := lockedMutexes(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := pass.Info.Uses[sel.Sel]
+				if obj == nil {
+					if s, found := pass.Info.Selections[sel]; found {
+						obj = s.Obj()
+					}
+				}
+				mu, isGuarded := guards[obj]
+				if !isGuarded || locked[mu] || declaresHeld(fd, mu) {
+					return true
+				}
+				pass.Reportf(sel.Sel.Pos(),
+					"access to %s (guarded by %s) in %s, which neither locks %s nor declares it held",
+					sel.Sel.Name, mu, fd.Name.Name, mu)
+				return true
+			})
+		}
+	}
+}
+
+// guardName returns the mutex named by a field's "guarded by <mu>"
+// comment, or "".
+func guardName(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// lockedMutexes returns the set of mutex names the function body visibly
+// locks: any call of the form <chain>.<mu>.Lock() or <mu>.RLock().
+func lockedMutexes(body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch recv := sel.X.(type) {
+		case *ast.SelectorExpr:
+			out[recv.Sel.Name] = true
+		case *ast.Ident:
+			out[recv.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// declaresHeld reports whether the function's doc comment declares the
+// mutex already held by the caller, or its name ends in "Locked".
+func declaresHeld(fd *ast.FuncDecl, mu string) bool {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return true
+	}
+	if fd.Doc == nil {
+		return false
+	}
+	text := fd.Doc.Text()
+	return strings.Contains(text, mu+" held") ||
+		strings.Contains(text, "holding "+mu) ||
+		strings.Contains(text, "holds "+mu) ||
+		strings.Contains(text, "caller holds")
+}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// IntMerge guards the campaign fabric's determinism keystone: mergeable
+// metrics must stay all-integer so shard merges are exact for any split.
+// In the metrics package it forbids float-typed fields on mergeable
+// structs (types named *Partial*) and float arithmetic inside merge-path
+// functions (Merge*/Add* functions and methods). Derived views
+// (ScheduleRatio, MeanResponseTU, ...) compute floats after merging and
+// are out of scope by construction — they are not named Merge or Add.
+var IntMerge = &Analyzer{
+	Name:     "intmerge",
+	Doc:      "forbid float fields and float arithmetic in metrics merge/Partial paths (shard merges must be exact)",
+	Packages: []string{"metrics"},
+	Run:      runIntMerge,
+}
+
+func runIntMerge(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !strings.Contains(ts.Name.Name, "Partial") {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					checkPartialFields(pass, ts.Name.Name, st)
+				}
+			case *ast.FuncDecl:
+				if d.Body == nil || !mergePathFunc(d) {
+					continue
+				}
+				checkMergeBody(pass, d)
+			}
+		}
+	}
+}
+
+// mergePathFunc reports whether the function is a merge path: its name
+// starts with Merge or Add.
+func mergePathFunc(d *ast.FuncDecl) bool {
+	return strings.HasPrefix(d.Name.Name, "Merge") || strings.HasPrefix(d.Name.Name, "Add")
+}
+
+// checkPartialFields flags float-typed fields of a mergeable struct.
+func checkPartialFields(pass *Pass, typeName string, st *ast.StructType) {
+	for _, f := range st.Fields.List {
+		t := pass.Info.Types[f.Type].Type
+		if !isFloat(t) && !syntacticFloat(f.Type) {
+			continue
+		}
+		names := "embedded field"
+		if len(f.Names) > 0 {
+			var ns []string
+			for _, n := range f.Names {
+				ns = append(ns, n.Name)
+			}
+			names = strings.Join(ns, ", ")
+		}
+		pass.Reportf(f.Pos(),
+			"float field %s on mergeable struct %s: merges would drift with the shard split; store integer ticks and derive floats after merging",
+			names, typeName)
+	}
+}
+
+// syntacticFloat matches literal float32/float64 type expressions, the
+// fallback when type information is unavailable.
+func syntacticFloat(t ast.Expr) bool {
+	id, ok := t.(*ast.Ident)
+	return ok && (id.Name == "float32" || id.Name == "float64")
+}
+
+// checkMergeBody flags float arithmetic inside a merge-path function.
+func checkMergeBody(pass *Pass, d *ast.FuncDecl) {
+	ast.Inspect(d.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			switch x.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+				if isFloat(pass.Info.Types[x.X].Type) || isFloat(pass.Info.Types[x.Y].Type) {
+					pass.Reportf(x.Pos(),
+						"float arithmetic in merge path %s: results depend on fold order; keep merge paths all-integer",
+						d.Name.Name)
+				}
+			}
+		case *ast.AssignStmt:
+			switch x.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range x.Lhs {
+					if isFloat(pass.Info.Types[lhs].Type) {
+						pass.Reportf(x.Pos(),
+							"float accumulation in merge path %s: results depend on fold order; keep merge paths all-integer",
+							d.Name.Name)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// float64(x) conversions inside a merge path launder integers
+			// into drift-prone arithmetic.
+			if id, ok := x.Fun.(*ast.Ident); ok && (id.Name == "float64" || id.Name == "float32") && isBuiltinType(pass, id) {
+				pass.Reportf(x.Pos(),
+					"conversion to %s in merge path %s: keep merge paths all-integer and derive floats after merging",
+					id.Name, d.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// isBuiltinType reports whether the identifier resolves to a predeclared
+// type name (not a local shadow).
+func isBuiltinType(pass *Pass, id *ast.Ident) bool {
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return true
+	}
+	return obj.Pkg() == nil
+}

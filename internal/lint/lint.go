@@ -1,0 +1,406 @@
+// Package lint is the repository's determinism and concurrency lint
+// driver: a small, stdlib-only static-analysis harness (go/parser +
+// go/types) in the spirit of go/analysis, tuned to this codebase's
+// reproduction contract. The shipped analyzers (Analyzers) prove at
+// compile time the invariants the differential tests probe at run time:
+// no wall-clock or environment reads in the deterministic packages
+// (nondeterm), no order-sensitive folds over map iteration (maporder),
+// no float drift in mergeable metrics (intmerge), and no unlocked access
+// to mutex-guarded state (guarded).
+//
+// A finding can be suppressed with a directive comment on, or on the line
+// before, the offending line:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The analyzer name must be one of the run's analyzers and the reason must
+// be non-empty; a malformed directive is itself a finding. cmd/rtlint is
+// the command-line front end.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer report: a position, the analyzer that raised it,
+// and the message. Findings print as "file:line:col: analyzer: message".
+type Finding struct {
+	// Pos locates the finding in the source tree.
+	Pos token.Position `json:"-"`
+	// File is Pos.Filename, split out for JSON output.
+	File string `json:"file"`
+	// Line is Pos.Line.
+	Line int `json:"line"`
+	// Col is Pos.Column.
+	Col int `json:"col"`
+	// Analyzer names the analyzer that raised the finding.
+	Analyzer string `json:"analyzer"`
+	// Message describes the violation.
+	Message string `json:"message"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Analyzer is one modular check: a name (the lint:ignore key), a one-line
+// doc string, and the Run hook invoked once per package.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in findings and directives.
+	Name string
+	// Doc is a one-line description, shown by rtlint -list.
+	Doc string
+	// Packages, when non-empty, restricts the analyzer to packages whose
+	// import-path base name is in the list; an empty list means every
+	// audited package.
+	Packages []string
+	// Run analyzes one package, reporting through pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// applies reports whether the analyzer audits the named package.
+func (a *Analyzer) applies(pkgName string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, p := range a.Packages {
+		if p == pkgName {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one (analyzer, package) unit of work: the parsed files,
+// whatever type information survived the lenient check, and the report
+// hook.
+type Pass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+	// Fset maps AST positions back to source.
+	Fset *token.FileSet
+	// Files are the package's non-test source files.
+	Files []*ast.File
+	// Pkg is the type-checked package (possibly incomplete: imports
+	// outside the module are stubbed, so their members do not resolve).
+	Pkg *types.Package
+	// Info holds the type-checker's resolution maps. Objects of this
+	// module resolve precisely; references into stubbed imports are
+	// simply absent, and analyzers must tolerate missing entries.
+	Info *types.Info
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.findings = append(*p.findings, Finding{
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the repository's analyzer suite, in report order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{NonDeterm, MapOrder, IntMerge, Guarded}
+}
+
+// Package is one loaded, type-checked package directory.
+type Package struct {
+	// Dir is the package directory as given to the loader.
+	Dir string
+	// Fset maps positions for every file of this load (shared across
+	// packages of one Loader).
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, in file-name order.
+	Files []*ast.File
+	// Pkg is the types package.
+	Pkg *types.Package
+	// Info is the resolution info for Files.
+	Info *types.Info
+}
+
+// Loader parses and type-checks package directories. Imports within the
+// module (ModulePath-prefixed) are loaded from source, so cross-package
+// types of this repository resolve exactly; all other imports (the
+// standard library included) are stubbed out, and type errors arising from
+// stubs are ignored — analyzers see precise types for everything local and
+// work syntactically elsewhere.
+type Loader struct {
+	// ModuleRoot is the filesystem root of the module.
+	ModuleRoot string
+	// ModulePath is the module's import-path prefix (go.mod "module").
+	ModulePath string
+
+	fset    *token.FileSet
+	loaded  map[string]*Package       // by absolute dir
+	stubs   map[string]*types.Package // by import path
+	loading map[string]bool           // cycle guard, by absolute dir
+}
+
+// NewLoader returns a loader rooted at moduleRoot. The module path is read
+// from moduleRoot's go.mod.
+func NewLoader(moduleRoot string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(moduleRoot, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: read go.mod: %w", err)
+	}
+	path := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			path = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if path == "" {
+		return nil, fmt.Errorf("lint: no module line in %s/go.mod", moduleRoot)
+	}
+	return &Loader{
+		ModuleRoot: moduleRoot,
+		ModulePath: path,
+		fset:       token.NewFileSet(),
+		loaded:     make(map[string]*Package),
+		stubs:      make(map[string]*types.Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load parses and type-checks the package in dir (non-test files only).
+// Loads are cached, so a package imported by several audited packages is
+// checked once.
+func (l *Loader) Load(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if p, ok := l.loaded[abs]; ok {
+		return p, nil
+	}
+	if l.loading[abs] {
+		return nil, fmt.Errorf("lint: import cycle through %s", dir)
+	}
+	l.loading[abs] = true
+	defer delete(l.loading, abs)
+
+	pkgMap, err := parser.ParseDir(l.fset, abs, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("lint: parse %s: %w", dir, err)
+	}
+	var astPkg *ast.Package
+	for name, p := range pkgMap {
+		if astPkg == nil || !strings.HasSuffix(name, "_test") {
+			astPkg = p
+		}
+	}
+	if astPkg == nil {
+		return nil, fmt.Errorf("lint: no Go package in %s", dir)
+	}
+	var names []string
+	for name := range astPkg.Files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		files = append(files, astPkg.Files[name])
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: (*moduleImporter)(l),
+		Error:    func(error) {}, // stubbed imports guarantee errors; analyzers tolerate gaps
+	}
+	importPath := l.importPathFor(abs)
+	pkg, _ := conf.Check(importPath, l.fset, files, info) // errors intentionally dropped
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: type-check %s produced no package", dir)
+	}
+	p := &Package{Dir: dir, Fset: l.fset, Files: files, Pkg: pkg, Info: info}
+	l.loaded[abs] = p
+	return p, nil
+}
+
+// importPathFor maps an absolute directory under the module root to its
+// import path; directories outside the module keep their base name.
+func (l *Loader) importPathFor(abs string) string {
+	if rel, err := filepath.Rel(l.ModuleRoot, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		return l.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	return filepath.Base(abs)
+}
+
+// moduleImporter resolves module-local imports from source and stubs the
+// rest. Methods live on a Loader alias so the cache is shared.
+type moduleImporter Loader
+
+// Import implements types.Importer.
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(m)
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		p, err := l.Load(filepath.Join(l.ModuleRoot, filepath.FromSlash(rest)))
+		if err != nil {
+			return nil, err
+		}
+		p.Pkg.MarkComplete()
+		return p.Pkg, nil
+	}
+	if stub, ok := l.stubs[path]; ok {
+		return stub, nil
+	}
+	stub := types.NewPackage(path, pathBase(path))
+	stub.MarkComplete()
+	l.stubs[path] = stub
+	return stub, nil
+}
+
+// pathBase returns the last element of an import path.
+func pathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	analyzer  string
+	reason    string
+	pos       token.Pos
+	malformed string // non-empty when the directive itself is a finding
+}
+
+// directiveRe matches "lint:ignore" directives: the token must be followed
+// by whitespace or end-of-comment, so "lint:ignoreX" is not a directive.
+var directiveRe = regexp.MustCompile(`^//\s*lint:ignore(?:\s+(\S+))?(?:\s+(.*))?\s*$`)
+
+// collectDirectives parses every lint:ignore comment of a file, keyed by
+// the line it suppresses (its own line and the next).
+func collectDirectives(fset *token.FileSet, file *ast.File, known map[string]bool) map[int][]ignoreDirective {
+	out := make(map[int][]ignoreDirective)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			m := directiveRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			d := ignoreDirective{analyzer: m[1], reason: strings.TrimSpace(m[2]), pos: c.Pos()}
+			switch {
+			case d.analyzer == "":
+				d.malformed = "lint:ignore directive names no analyzer (want //lint:ignore <analyzer> <reason>)"
+			case !known[d.analyzer]:
+				d.malformed = fmt.Sprintf("lint:ignore names unknown analyzer %q", d.analyzer)
+			case d.reason == "":
+				d.malformed = fmt.Sprintf("lint:ignore %s gives no reason", d.analyzer)
+			}
+			line := fset.Position(c.Pos()).Line
+			out[line] = append(out[line], d)
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over the package and returns surviving
+// findings: analyzer reports not suppressed by a well-formed lint:ignore
+// directive, plus one finding per malformed directive. Findings are
+// ordered by position.
+func Run(p *Package, analyzers []*Analyzer) []Finding {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var raw []Finding
+	for _, a := range analyzers {
+		if !a.applies(p.Pkg.Name()) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     p.Fset,
+			Files:    p.Files,
+			Pkg:      p.Pkg,
+			Info:     p.Info,
+			findings: &raw,
+		}
+		a.Run(pass)
+	}
+
+	// Directive handling: suppress findings covered by a directive on the
+	// same or preceding line; report malformed directives.
+	var out []Finding
+	for _, file := range p.Files {
+		dirs := collectDirectives(p.Fset, file, known)
+		for line := range dirs {
+			for _, d := range dirs[line] {
+				if d.malformed != "" {
+					pos := p.Fset.Position(d.pos)
+					out = append(out, Finding{
+						Pos: pos, File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Analyzer: "lint", Message: d.malformed,
+					})
+				}
+			}
+		}
+	}
+	for _, f := range raw {
+		if suppressed(p, f, known) {
+			continue
+		}
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Col < out[j].Col
+	})
+	return out
+}
+
+// suppressed reports whether a well-formed directive on the finding's line
+// or the line above covers it.
+func suppressed(p *Package, f Finding, known map[string]bool) bool {
+	for _, file := range p.Files {
+		if p.Fset.Position(file.Pos()).Filename != f.File {
+			continue
+		}
+		dirs := collectDirectives(p.Fset, file, known)
+		for _, line := range [2]int{f.Line, f.Line - 1} {
+			for _, d := range dirs[line] {
+				if d.malformed == "" && d.analyzer == f.Analyzer {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads one testdata package through the real loader (rooted
+// at the repository, two levels up).
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	l, err := NewLoader("../..")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	p, err := l.Load(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("Load(%s): %v", name, err)
+	}
+	return p
+}
+
+// wantRe matches a // want `regex` expectation inside a comment.
+var wantRe = regexp.MustCompile("want `([^`]+)`")
+
+// expectation is one want comment: a line and a message pattern.
+type expectation struct {
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// collectWants parses the fixture's want comments, keyed by file and line.
+func collectWants(t *testing.T, p *Package) map[string][]*expectation {
+	t.Helper()
+	out := make(map[string][]*expectation)
+	for _, file := range p.Files {
+		fname := p.Fset.Position(file.Pos()).Filename
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regex %q: %v", fname, m[1], err)
+					}
+					line := p.Fset.Position(c.Pos()).Line
+					out[fname] = append(out[fname], &expectation{line: line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkFixture runs the full suite over a fixture and matches findings
+// against its want comments, both directions.
+func checkFixture(t *testing.T, name string) {
+	t.Helper()
+	p := loadFixture(t, name)
+	wants := collectWants(t, p)
+	findings := Run(p, Analyzers())
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants[f.File] {
+			if w.line == f.Line && w.re.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for file, ws := range wants {
+		for _, w := range ws {
+			if !w.hit {
+				t.Errorf("%s:%d: expected finding matching %q, got none", file, w.line, w.re)
+			}
+		}
+	}
+}
+
+func TestNonDetermFixture(t *testing.T) { checkFixture(t, "nondeterm") }
+func TestMapOrderFixture(t *testing.T)  { checkFixture(t, "maporder") }
+func TestIntMergeFixture(t *testing.T)  { checkFixture(t, "intmerge") }
+func TestGuardedFixture(t *testing.T)   { checkFixture(t, "guarded") }
+
+// TestIgnoreDirectives pins the directive contract: a well-formed
+// directive on the finding's line or the line above suppresses it; a
+// wrong analyzer name or a missing reason is itself a finding and
+// suppresses nothing.
+func TestIgnoreDirectives(t *testing.T) {
+	p := loadFixture(t, "ignore")
+	findings := Run(p, Analyzers())
+
+	var got []string
+	for _, f := range findings {
+		got = append(got, fmt.Sprintf("%s: %s", f.Analyzer, f.Message))
+	}
+
+	wantSubstrings := []string{
+		`lint: lint:ignore names unknown analyzer "nodeterm"`,
+		`lint: lint:ignore nondeterm gives no reason`,
+		`lint: lint:ignore directive names no analyzer`,
+		// The three malformed directives do not suppress their targets.
+		`nondeterm: os.Getenv: environment read`, // wrongAnalyzer
+		`nondeterm: os.Getenv: environment read`, // missingReason
+		`nondeterm: os.Getenv: environment read`, // noAnalyzer
+	}
+	if len(findings) != len(wantSubstrings) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(findings), len(wantSubstrings), strings.Join(got, "\n"))
+	}
+	counts := map[string]int{}
+	for _, g := range got {
+		counts[prefixOf(g)]++
+	}
+	if counts["lint"] != 3 || counts["nondeterm"] != 3 {
+		t.Fatalf("got %d lint + %d nondeterm findings, want 3 + 3:\n%s",
+			counts["lint"], counts["nondeterm"], strings.Join(got, "\n"))
+	}
+	// The two well-formed directives suppressed their lines: no finding
+	// may point at the suppressed functions.
+	for _, f := range findings {
+		if f.Line <= 19 { // suppressedSameLine / suppressedLineAbove bodies
+			t.Errorf("finding on suppressed line %d: %s", f.Line, f)
+		}
+	}
+}
+
+func prefixOf(s string) string {
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// TestDirectiveParsing covers the directive grammar corner cases without
+// fixtures.
+func TestDirectiveParsing(t *testing.T) {
+	src := `package p
+//lint:ignore maporder keys sorted upstream by the caller
+var a int
+// lint:ignore guarded initialization happens before the pool starts
+var b int
+//lint:ignorenot a directive at all
+var c int
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{"maporder": true, "guarded": true}
+	dirs := collectDirectives(fset, file, known)
+	if len(dirs) != 2 {
+		t.Fatalf("parsed %d directive lines, want 2: %+v", len(dirs), dirs)
+	}
+	for line, ds := range dirs {
+		for _, d := range ds {
+			if d.malformed != "" {
+				t.Errorf("line %d: unexpectedly malformed: %s", line, d.malformed)
+			}
+			if d.reason == "" {
+				t.Errorf("line %d: empty reason", line)
+			}
+		}
+	}
+}
+
+// TestAnalyzerScoping pins that package-restricted analyzers skip
+// packages outside their list.
+func TestAnalyzerScoping(t *testing.T) {
+	if NonDeterm.applies("harness") {
+		t.Error("nondeterm must not audit the harness package (env worker counts are allowed there)")
+	}
+	if !NonDeterm.applies("sim") || !NonDeterm.applies("rtsjvm") {
+		t.Error("nondeterm must audit the deterministic packages")
+	}
+	if IntMerge.applies("experiments") {
+		t.Error("intmerge is scoped to metrics")
+	}
+	if !MapOrder.applies("anything") || !Guarded.applies("anything") {
+		t.Error("maporder and guarded audit every package")
+	}
+}
+
+// TestRunOnRepoPackages runs the suite over the real deterministic
+// packages: the tree must be clean (the rtlint CI gate, as a unit test).
+func TestRunOnRepoPackages(t *testing.T) {
+	l, err := NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := []string{
+		"sim", "exec", "gen", "metrics", "faults", "rtime", "spec", "trace", "rtsjvm",
+		"harness", "experiments", "analysis", "core", "lint",
+	}
+	for _, d := range dirs {
+		p, err := l.Load(filepath.Join("..", d))
+		if err != nil {
+			t.Fatalf("load internal/%s: %v", d, err)
+		}
+		for _, f := range Run(p, Analyzers()) {
+			t.Errorf("internal/%s: %s", d, f)
+		}
+	}
+}
+
+// TestFindingString pins the rendering format rtlint prints and CI greps.
+func TestFindingString(t *testing.T) {
+	f := Finding{File: "a/b.go", Line: 3, Col: 7, Analyzer: "maporder", Message: "boom"}
+	if got, want := f.String(), "a/b.go:3:7: maporder: boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

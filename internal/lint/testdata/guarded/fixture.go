@@ -1,0 +1,55 @@
+// Package guarded is a fixture for the mutex-guard analyzer.
+package guarded
+
+import "sync"
+
+// pool mimics the executive's worker-pool shape.
+type pool struct {
+	mu    sync.Mutex
+	queue []int // guarded by mu
+	live  int   // guarded by mu
+	peak  int   // high-water mark of live; guarded by mu
+	name  string
+}
+
+func (p *pool) size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.live // locked in this function: ok
+}
+
+func (p *pool) push(x int) {
+	p.mu.Lock()
+	p.queue = append(p.queue, x)
+	if p.live > p.peak {
+		p.peak = p.live
+	}
+	p.mu.Unlock()
+}
+
+func (p *pool) racyPeek() int {
+	if len(p.queue) == 0 { // want `access to queue \(guarded by mu\) in racyPeek`
+		return 0
+	}
+	return p.queue[0] // want `access to queue \(guarded by mu\) in racyPeek`
+}
+
+// drainLocked runs with mu held by its caller; the "Locked" suffix
+// declares it.
+func (p *pool) drainLocked() {
+	p.queue = p.queue[:0]
+	p.live = 0
+}
+
+// report sums the pool gauges. Called with mu held.
+func (p *pool) report() int {
+	return p.live + len(p.queue)
+}
+
+func (p *pool) rename(n string) {
+	p.name = n // unguarded field: not flagged
+}
+
+func (p *pool) sloppyBump() {
+	p.live++ // want `access to live \(guarded by mu\) in sloppyBump`
+}

@@ -1,0 +1,35 @@
+// Package exec is the lint:ignore fixture (named after a deterministic
+// package so nondeterm audits it): well-formed directives suppress,
+// malformed directives are themselves findings. TestIgnoreDirectives
+// asserts the exact finding set programmatically — want comments cannot
+// sit on directive lines without becoming part of the reason.
+package exec
+
+import (
+	"os"
+	"time"
+)
+
+func suppressedSameLine() string {
+	return os.Getenv("HOME") //lint:ignore nondeterm worker-count plumbing, not simulation state
+}
+
+func suppressedLineAbove() time.Time {
+	//lint:ignore nondeterm benchmark instrumentation outside any fingerprint
+	return time.Now()
+}
+
+func wrongAnalyzer() string {
+	//lint:ignore nodeterm typo in the analyzer name
+	return os.Getenv("PATH")
+}
+
+func missingReason() string {
+	//lint:ignore nondeterm
+	return os.Getenv("TERM")
+}
+
+func noAnalyzer() string {
+	//lint:ignore
+	return os.Getenv("SHELL")
+}

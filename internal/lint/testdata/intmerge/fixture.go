@@ -1,0 +1,52 @@
+// Package metrics is an intmerge fixture: named metrics so the analyzer
+// audits it.
+package metrics
+
+// GoodPartial is all-integer: mergeable without drift.
+type GoodPartial struct {
+	Systems   int
+	RespTicks int64
+}
+
+// BadPartial carries a float tally.
+type BadPartial struct {
+	Systems  int
+	MeanResp float64 // want `float field MeanResp on mergeable struct BadPartial`
+}
+
+// Merge is a merge path: all-integer is fine.
+func (p *GoodPartial) Merge(q GoodPartial) {
+	p.Systems += q.Systems
+	p.RespTicks += q.RespTicks
+}
+
+// AddSample folds one observation; the float add is the defect.
+func (p *GoodPartial) AddSample(ticks int64, weight float64) {
+	p.Systems++
+	drift := weight * 0.5 // want `float arithmetic in merge path AddSample`
+	_ = drift
+	p.RespTicks += ticks
+}
+
+// MergeScaled launders integers through float64.
+func (p *GoodPartial) MergeScaled(q GoodPartial) {
+	scaled := float64(q.RespTicks) // want `conversion to float64 in merge path MergeScaled`
+	_ = scaled
+}
+
+// Ratio is a derived view, not a merge path: float math is expected here.
+func (p GoodPartial) Ratio() float64 {
+	if p.Systems == 0 {
+		return 0
+	}
+	return float64(p.RespTicks) / float64(p.Systems)
+}
+
+// accumulate is unexported and not Merge/Add-named: out of scope.
+func accumulate(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

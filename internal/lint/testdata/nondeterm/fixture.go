@@ -1,0 +1,57 @@
+// Package exec is a nondeterm fixture: it is named after a deterministic
+// package so the analyzer audits it. Each offending line carries a
+// // want "regex" expectation.
+package exec
+
+import (
+	"math/rand" // want `import of math/rand: unseeded/global randomness`
+	"os"
+	"sync"
+	"time"
+)
+
+// globalCounter is package-level mutable state.
+var globalCounter int
+
+// lookupTable is read-only after init: reads are fine, writes flagged.
+var lookupTable = map[string]int{"a": 1}
+
+// jobPool is allowlisted: sync.Pool recycling is observability-neutral.
+var jobPool = sync.Pool{New: func() any { return new(int) }}
+
+// onceSetup is allowlisted sync.Once.
+var onceSetup sync.Once
+
+func init() {
+	lookupTable["b"] = 2 // init writes are one-time deterministic setup
+}
+
+func wallClock() time.Duration {
+	start := time.Now()          // want `time\.Now: wall-clock read`
+	time.Sleep(time.Millisecond) // want `time\.Sleep: wall-clock wait`
+	return time.Since(start)     // want `time\.Since: wall-clock read`
+}
+
+func environment() string {
+	return os.Getenv("SEED") // want `os\.Getenv: environment read`
+}
+
+func prng() int {
+	return rand.Intn(10)
+}
+
+func mutateGlobal() {
+	globalCounter++   // want `write to package-level variable globalCounter outside init`
+	globalCounter = 0 // want `write to package-level variable globalCounter outside init`
+	jobPool.Put(new(int))
+	onceSetup.Do(func() {})
+}
+
+func readGlobal() int {
+	return lookupTable["a"] + globalCounter // reads alone are not flagged
+}
+
+func shadowedTime() int {
+	time := struct{ Now int }{Now: 3} // a local shadowing the import
+	return time.Now
+}

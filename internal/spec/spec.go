@@ -17,6 +17,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -243,10 +244,19 @@ func Format(f *File) string {
 	}
 	fmt.Fprintf(&b, "horizon %s\n", rtime.Duration(f.Horizon))
 	if s := f.System.Server; s != nil {
+		// Pick the policy's name over sorted keys so the rendered form is a
+		// pure function of the file (map iteration order must not leak into
+		// output; "ds-lim" and friends alias no policy, so first match wins).
+		keys := make([]string, 0, len(serverPolicies))
+		for k := range serverPolicies {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
 		name := "bg"
-		for k, v := range serverPolicies {
-			if v == s.Policy {
+		for _, k := range keys {
+			if serverPolicies[k] == s.Policy {
 				name = k
+				break
 			}
 		}
 		fmt.Fprintf(&b, "server %s %s %s prio=%d\n", name, s.Capacity, s.Period, s.Priority)
