@@ -384,6 +384,51 @@ func BenchmarkExecPeriodicSteadyState(b *testing.B) {
 	b.ReportMetric(float64(res.PeakWorkers), "peak-workers")
 }
 
+// BenchmarkExecSMPThroughput runs the large-N sporadic stress scenario on
+// four virtual CPUs under the Global migration policy: the direct kernel
+// keeps per-CPU ready heaps and places up to four occupants per decision,
+// so this measures the whole multiprocessor decision loop (domain pick,
+// placement, lockstep slice advance) at scale.
+func BenchmarkExecSMPThroughput(b *testing.B) {
+	p := experiments.DefaultStressParams()
+	p.CPUs = 4
+	b.ReportAllocs()
+	var res *experiments.StressResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunStress(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed != p.Jobs {
+			b.Fatalf("completed %d of %d jobs", res.Completed, p.Jobs)
+		}
+	}
+	b.ReportMetric(float64(p.Jobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+	b.ReportMetric(float64(res.Migrations), "migrations")
+}
+
+// BenchmarkExecSMPUniprocessor runs the same stress scenario with an
+// explicit CPUs=1: the M=1 reduction must ride the pre-SMP decision fast
+// path, so this number is the regression guard against BenchmarkExecLargeN
+// (the legacy uniprocessor configuration) — the two should be within
+// noise of each other.
+func BenchmarkExecSMPUniprocessor(b *testing.B) {
+	p := experiments.DefaultStressParams()
+	p.CPUs = 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunStress(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed != p.Jobs {
+			b.Fatalf("completed %d of %d jobs", res.Completed, p.Jobs)
+		}
+	}
+	b.ReportMetric(float64(p.Jobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
 // BenchmarkExecContextSwitch measures the raw cost of one executive
 // preemption round trip (kernel -> thread -> kernel).
 func BenchmarkExecContextSwitch(b *testing.B) {

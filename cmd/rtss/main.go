@@ -132,7 +132,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if *quiet {
 			runExec = experiments.RunExecutionMetrics
 		}
-		o, err := runExec(parsed.System, experiments.DefaultExecModel(), parsed.Horizon)
+		model := experiments.DefaultExecModel()
+		// A cpus directive maps onto the executive's virtual CPU count
+		// (Global migration policy); the simulator side stays uniprocessor.
+		model.CPUs = parsed.CPUs
+		o, err := runExec(parsed.System, model, parsed.Horizon)
 		if err != nil {
 			return err
 		}

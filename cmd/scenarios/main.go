@@ -16,6 +16,12 @@
 // in-process through the streaming reducer (-n overrides systems per point,
 // -seed the generation seed) and prints the schedulability curve; the
 // sharded front-end lives in cmd/tables -campaign.
+//
+// The "smp" family runs the multiprocessor scenario sweeps
+// (internal/experiments.RunSMP) on -cpus virtual CPUs: the
+// global-vs-partitioned-vs-clustered EDF/FP deadline-miss curves and the
+// migration-cost sweep. Results are deterministic fingerprinted schedules;
+// the command exits non-zero on any executive invariant violation.
 package main
 
 import (
@@ -30,8 +36,8 @@ import (
 )
 
 func main() {
-	family := flag.String("family", "figures", "scenario family: figures | overload | campaign")
-	scenario := flag.String("scenario", "", "scenario to run: figures 1-3, overload miss-storm|transient|saturation; empty for all")
+	family := flag.String("family", "figures", "scenario family: figures | overload | campaign | smp")
+	scenario := flag.String("scenario", "", "scenario to run: figures 1-3, overload miss-storm|transient|saturation, smp miss-curve|migration-sweep; empty for all")
 	ideal := flag.Bool("ideal", true, "figures: also show the ideal (literature) polling server schedule")
 	workers := flag.Int("workers", 0, "harness worker pool size (0: $RTSJ_WORKERS or GOMAXPROCS)")
 	events := flag.Int("n", 0, "overload: approximate event count; campaign: systems per point (0: default)")
@@ -39,7 +45,8 @@ func main() {
 	faultsFlag := flag.String("faults", "", "overload: extra fault plan (e.g. 'seed=1 overrun=0.3:0.5'); 'off' or empty for none")
 	pooled := flag.Int("pooled", 0, "overload: run pooled with this many workers (0: goroutine per thread)")
 	activation := flag.Bool("activation", false, "overload: activation-driven periodic dispatch")
-	quiet := flag.Bool("quiet", false, "overload: one summary line per scenario")
+	quiet := flag.Bool("quiet", false, "overload/smp: one summary line per scenario")
+	cpus := flag.Int("cpus", 4, "smp: virtual CPU count")
 	flag.Parse()
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "scenarios: -workers must be >= 0 (got %d)\n", *workers)
@@ -61,8 +68,10 @@ func main() {
 		runOverload(*scenario, *events, *seed, *faultsFlag, *pooled, *activation, *quiet)
 	case "campaign":
 		runCampaign(*events, *seed)
+	case "smp":
+		runSMP(*scenario, *cpus, *pooled, *activation, *quiet)
 	default:
-		fmt.Fprintf(os.Stderr, "scenarios: unknown family %q (want figures, overload or campaign)\n", *family)
+		fmt.Fprintf(os.Stderr, "scenarios: unknown family %q (want figures, overload, campaign or smp)\n", *family)
 		os.Exit(2)
 	}
 }
@@ -164,6 +173,62 @@ func runOverload(scenario string, events int, seed int64, faultsFlag string, poo
 		if name == experiments.OverloadMissStorm && r.Shed == 0 {
 			fmt.Fprintf(os.Stderr, "scenarios: %s: shed nothing (storm not overloading)\n", name)
 			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runSMP sweeps the multiprocessor scenarios over every migration policy
+// and scheduler, printing the per-point miss/migration curves (or one
+// fingerprinted summary line per configuration with -quiet).
+func runSMP(scenario string, cpus, pooled int, activation, quiet bool) {
+	names := experiments.SMPScenarios()
+	if scenario != "" {
+		names = []string{scenario}
+	}
+	policies := []exec.MigrationPolicy{exec.Global, exec.Partitioned, exec.Clustered}
+	failed := false
+	for _, name := range names {
+		for _, pol := range policies {
+			if name == experiments.SMPMigration && pol == exec.Partitioned {
+				continue // a partitioned system cannot migrate
+			}
+			for _, sched := range []string{"fp", "edf"} {
+				p := experiments.DefaultSMPParams(name)
+				p.CPUs = cpus
+				p.Policy = pol
+				p.Sched = sched
+				p.Kernel = exec.DirectKernel
+				p.MaxGoroutines = pooled
+				p.PeriodicActivation = activation
+				r, err := experiments.RunSMP(p)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "scenarios: %s: %v\n", name, err)
+					os.Exit(1)
+				}
+				if quiet {
+					fmt.Printf("%-15s m=%d %-11s %-3s releases=%d misses=%d skips=%d migrations=%d fp=%#x\n",
+						name, r.CPUs, pol, sched, r.Releases, r.Misses, r.Skips, r.Migrations, r.Fingerprint)
+				} else {
+					fmt.Printf("=== SMP %s: %d CPUs, %s, %s ===\n", name, r.CPUs, pol, sched)
+					for _, pt := range r.Points {
+						label := "U/cpu"
+						if name == experiments.SMPMigration {
+							label = "cost(tu)"
+						}
+						fmt.Printf("  %s=%-5.2f releases=%-5d misses=%-4d skips=%-4d migrations=%d\n",
+							label, pt.Param, pt.Releases, pt.Misses, pt.Skips, pt.Migrations)
+					}
+					fmt.Printf("  total: %d releases, %d misses, %d migrations  fingerprint: %#x\n\n",
+						r.Releases, r.Misses, r.Migrations, r.Fingerprint)
+				}
+				for _, v := range r.Violations {
+					fmt.Fprintf(os.Stderr, "scenarios: %s/%s/%s: INVARIANT: %s\n", name, pol, sched, v)
+					failed = true
+				}
+			}
 		}
 	}
 	if failed {

@@ -15,7 +15,7 @@
 // Usage:
 //
 //	stress [-scenario sporadic|steady] [-n 10000] [-maxgoroutines 64]
-//	       [-kernel direct|channel] [-activation] [-background 4]
+//	       [-kernel direct|channel] [-activation] [-background 4] [-cpus 4]
 //	       [-bands 6] [-seed 2007] [-faults 'seed=1 drop=0.05'] [-quiet]
 //
 // With -maxgoroutines 0 the executive falls back to one goroutine per
@@ -49,6 +49,7 @@ func main() {
 	background := flag.Int("background", def.Background, "periodic background threads (sporadic scenario)")
 	bands := flag.Int("bands", def.PriorityBands, "priority bands for the sporadic jobs")
 	horizon := flag.Float64("horizon", steadyDef.HorizonTU, "steady-scenario horizon in time units")
+	cpus := flag.Int("cpus", 0, "virtual CPUs for the sporadic scenario (0 = uniprocessor)")
 	seed := flag.Uint64("seed", def.Seed, "scenario seed")
 	faultsFlag := flag.String("faults", "", "fault plan for the sporadic jobs (e.g. 'seed=1 overrun=0.2:0.5 drop=0.05'); 'off' or empty for none")
 	quiet := flag.Bool("quiet", false, "print only the summary line")
@@ -67,8 +68,8 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown kernel %q (want direct or channel)", *kernel))
 	}
-	if *n < 0 || *background < 0 || *bands <= 0 || *maxg < 0 {
-		fatal(fmt.Errorf("-n, -background and -maxgoroutines must be >= 0; -bands must be positive"))
+	if *n < 0 || *background < 0 || *bands <= 0 || *maxg < 0 || *cpus < 0 {
+		fatal(fmt.Errorf("-n, -background, -maxgoroutines and -cpus must be >= 0; -bands must be positive"))
 	}
 	// Reject flags the selected scenario would silently ignore: a user
 	// comparing configurations must not believe a setting took effect when
@@ -77,8 +78,8 @@ func main() {
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	switch *scenario {
 	case "steady":
-		if set["background"] || set["bands"] || set["faults"] {
-			fatal(fmt.Errorf("-background, -bands and -faults apply only to -scenario sporadic"))
+		if set["background"] || set["bands"] || set["faults"] || set["cpus"] {
+			fatal(fmt.Errorf("-background, -bands, -faults and -cpus apply only to -scenario sporadic"))
 		}
 	case "sporadic":
 		if set["horizon"] {
@@ -97,6 +98,7 @@ func main() {
 			MaxGoroutines:      *maxg,
 			PeriodicActivation: *activation,
 			Faults:             plan,
+			CPUs:               *cpus,
 		}
 		if *n > 0 {
 			p.Jobs = *n
@@ -132,7 +134,11 @@ func runSporadic(p experiments.StressParams, quiet bool) {
 	if !quiet {
 		fmt.Printf("scenario : %d jobs over %d bands, %d background threads (activation=%v), seed %d\n",
 			res.Jobs, p.PriorityBands, p.Background, p.PeriodicActivation, p.Seed)
-		fmt.Printf("executive: %s kernel, maxgoroutines=%d\n", p.Kernel, p.MaxGoroutines)
+		cpus := p.CPUs
+		if cpus < 1 {
+			cpus = 1
+		}
+		fmt.Printf("executive: %s kernel, maxgoroutines=%d, cpus=%d\n", p.Kernel, p.MaxGoroutines, cpus)
 		fmt.Printf("completed: %d/%d jobs (%d dropped by faults), %d background activations\n",
 			res.Completed, res.Jobs, res.Dropped, res.BackgroundRun)
 		fmt.Printf("virtual  : consumed %v, finished at %v of %v horizon\n",

@@ -48,6 +48,20 @@ type Options struct {
 	// keeps the goroutine-per-thread mode. Scheduling is identical either
 	// way, enforced by the kernel differential tests.
 	MaxGoroutines int
+	// CPUs is the number of virtual CPUs the executive schedules (see
+	// smp.go). Zero and one are the uniprocessor: the same code path with
+	// one CPU, byte-identical to the pre-SMP executive.
+	CPUs int
+	// Migration selects how ready threads map onto the CPUs (Global,
+	// Partitioned, Clustered). Irrelevant with one CPU.
+	Migration MigrationPolicy
+	// ClusterSize is the CPUs-per-cluster of the Clustered policy
+	// (default 2). Ignored by the other policies.
+	ClusterSize int
+	// MigrationCost, when positive, is added to a thread's remaining
+	// demand each time it resumes a consume on a different CPU than the
+	// one it last occupied — the cache-reload penalty of a migration.
+	MigrationCost rtime.Duration
 }
 
 // MissPolicy selects how a periodic entity (SpawnPeriodic) handles a
@@ -159,9 +173,10 @@ type Thread struct {
 
 	// Activation-driven periodic state (SpawnPeriodic): the release period,
 	// the current/next release instant, the overrun miss policy and its
-	// skip/abort counts, and the detach flag raised while a finished body's
-	// goroutine leaves the scheduling loop (its thread lives on, so handoff
-	// must not park it).
+	// skip/abort counts, the optional per-release dynamic priority hook
+	// (ActivationSpec.Priority), and the detach flag raised while a
+	// finished body's goroutine leaves the scheduling loop (its thread
+	// lives on, so handoff must not park it).
 	periodic   bool
 	period     rtime.Duration
 	nextRel    rtime.Time
@@ -169,6 +184,16 @@ type Thread struct {
 	missed     int
 	aborted    int
 	detached   bool
+	dynPrio    func(release rtime.Time) int
+
+	// SMP state (kernel/token-owned, like the scheduling state above):
+	// the requested CPU affinity (-1 when none), the scheduling domain
+	// whose ready queue the thread lives in, the CPU it last occupied
+	// (-1 before first placement) and its cross-CPU migration count.
+	affinity   int
+	domain     int
+	lastCPU    int
+	migrations int
 
 	// Consume state.
 	needCPU  rtime.Duration
@@ -251,8 +276,22 @@ type Exec struct {
 	timers []*timerEv
 	reqCh  chan request
 
-	// DirectKernel state: heap-backed queues and the handoff protocol.
-	ready  readyHeap
+	// SMP topology (smp.go): the virtual CPU count, migration policy,
+	// per-domain CPU index sets, the per-domain ready queues (DirectKernel
+	// heaps; one domain with one CPU is the uniprocessor), the CPU
+	// occupancy vector recomputed by assignCPUs each scheduling decision,
+	// a scratch buffer for top-K selection, and the migration tally.
+	ncpu        int
+	policy      MigrationPolicy
+	clusterSize int
+	migrateCost rtime.Duration
+	domains     [][]int
+	readyQ      []readyHeap
+	cpuRun      []*Thread
+	pickBuf     []*Thread
+	migrations  int
+
+	// DirectKernel state: the timer heap and the handoff protocol.
 	theap  timerHeap
 	mu     sync.Mutex
 	main   sync.Cond // parks the Run goroutine while threads hold the CPU
@@ -297,6 +336,42 @@ func NewWithOptions(sink trace.Sink, opts Options) *Exec {
 	}
 	ex := &Exec{kind: opts.Kernel, sink: sink, pooled: opts.MaxGoroutines > 0}
 	ex.tr, _ = sink.(*trace.Trace)
+	ex.ncpu = opts.CPUs
+	if ex.ncpu <= 0 {
+		ex.ncpu = 1
+	}
+	ex.policy = opts.Migration
+	ex.clusterSize = opts.ClusterSize
+	if ex.clusterSize <= 0 {
+		ex.clusterSize = 2
+	}
+	ex.migrateCost = opts.MigrationCost
+	switch {
+	case ex.policy == Partitioned && ex.ncpu > 1:
+		for c := 0; c < ex.ncpu; c++ {
+			ex.domains = append(ex.domains, []int{c})
+		}
+	case ex.policy == Clustered && ex.ncpu > 1:
+		for lo := 0; lo < ex.ncpu; lo += ex.clusterSize {
+			hi := lo + ex.clusterSize
+			if hi > ex.ncpu {
+				hi = ex.ncpu
+			}
+			cl := make([]int, 0, hi-lo)
+			for c := lo; c < hi; c++ {
+				cl = append(cl, c)
+			}
+			ex.domains = append(ex.domains, cl)
+		}
+	default:
+		all := make([]int, ex.ncpu)
+		for c := range all {
+			all[c] = c
+		}
+		ex.domains = [][]int{all}
+	}
+	ex.readyQ = make([]readyHeap, len(ex.domains))
+	ex.cpuRun = make([]*Thread, ex.ncpu)
 	if opts.Kernel == ChannelKernel {
 		ex.reqCh = make(chan request)
 	}
@@ -349,18 +424,25 @@ func (ex *Exec) Threads() []*Thread {
 
 // newThread constructs and registers a thread without starting or
 // scheduling it — the construction invariants shared by Spawn and
-// SpawnPeriodic (entity declaration, kernel-specific handoff state).
-func (ex *Exec) newThread(name string, prio int, body func(tc *TC)) *Thread {
+// SpawnPeriodic (entity declaration, scheduling-domain assignment,
+// kernel-specific handoff state). affinity is a CPU index or -1 for none.
+func (ex *Exec) newThread(name string, prio, affinity int, body func(tc *TC)) *Thread {
+	if affinity < -1 || affinity >= ex.ncpu {
+		ex.panicBadCPU(name, affinity)
+	}
 	th := &Thread{
-		ex:      ex,
-		name:    name,
-		prio:    prio,
-		boost:   prio,
-		state:   stateNew,
-		heapIdx: -1,
-		body:    body,
+		ex:       ex,
+		name:     name,
+		prio:     prio,
+		boost:    prio,
+		state:    stateNew,
+		heapIdx:  -1,
+		affinity: affinity,
+		lastCPU:  -1,
+		body:     body,
 	}
 	ex.threads = append(ex.threads, th)
+	th.domain = ex.domainFor(affinity, len(ex.threads)-1)
 	ex.sink.DeclareEntity(name)
 	if ex.kind == ChannelKernel {
 		th.resumeCh = make(chan resumeMsg)
@@ -383,22 +465,10 @@ func (ex *Exec) scheduleFirstRelease(th *Thread, startAt rtime.Time) {
 }
 
 // Spawn creates a thread that becomes ready at startAt. The body runs in its
-// own goroutine but under the executive's scheduling discipline.
+// own goroutine but under the executive's scheduling discipline. SpawnOn is
+// the same with an explicit CPU affinity.
 func (ex *Exec) Spawn(name string, prio int, startAt rtime.Time, body func(tc *TC)) *Thread {
-	th := ex.newThread(name, prio, body)
-	// In pooled mode the body is handed to a pool worker lazily, the first
-	// time the scheduler actually runs the thread (see handoff/runChannel);
-	// threads that never run never cost a goroutine.
-	if !ex.pooled {
-		th.started = true
-		if ex.kind == ChannelKernel {
-			go th.channelRun()
-		} else {
-			go th.directRun()
-		}
-	}
-	ex.scheduleFirstRelease(th, startAt)
-	return th
+	return ex.SpawnOn(name, prio, startAt, -1, body)
 }
 
 type killSentinel struct{}
@@ -427,8 +497,8 @@ func (ex *Exec) nextSeq() int64 {
 	return ex.seq
 }
 
-// makeReady moves th to the ready queue (re-queuing, with a fresh FIFO rank,
-// if it was already there).
+// makeReady moves th to its domain's ready queue (re-queuing, with a fresh
+// FIFO rank, if it was already there).
 func (ex *Exec) makeReady(th *Thread) {
 	if th.state == stateDone {
 		return
@@ -437,18 +507,18 @@ func (ex *Exec) makeReady(th *Thread) {
 	th.readySeq = ex.nextSeq()
 	if ex.kind == DirectKernel {
 		if th.heapIdx >= 0 {
-			ex.ready.fix(th.heapIdx) // seq grew: sink to the new FIFO rank
+			ex.readyQ[th.domain].fix(th.heapIdx) // seq grew: sink to the new FIFO rank
 		} else {
-			ex.ready.push(th)
+			ex.readyQ[th.domain].push(th)
 		}
 	}
 }
 
-// readyRemove drops th from the ready heap (DirectKernel bookkeeping; the
-// channel kernel scans thread states instead).
+// readyRemove drops th from its domain's ready heap (DirectKernel
+// bookkeeping; the channel kernel scans thread states instead).
 func (ex *Exec) readyRemove(th *Thread) {
 	if ex.kind == DirectKernel && th.heapIdx >= 0 {
-		ex.ready.remove(th)
+		ex.readyQ[th.domain].remove(th)
 	}
 }
 
@@ -522,24 +592,6 @@ func (ex *Exec) Run(until rtime.Time) error {
 		return ex.runChannel(until)
 	}
 	return ex.runDirect(until)
-}
-
-// runSlice advances time while th consumes CPU, stopping at the next timer
-// or the horizon (whichever comes first) so preemption can occur.
-func (ex *Exec) runSlice(th *Thread, until rtime.Time) {
-	stop := until
-	if ev := ex.nextTimer(); ev != nil {
-		stop = rtime.Min(stop, ev.at)
-	}
-	delta := rtime.MinDur(th.needCPU, stop.Sub(ex.now))
-	if delta <= 0 {
-		// A timer due exactly now; fire it on the next loop iteration.
-		return
-	}
-	ex.sink.Run(th.name, ex.now, ex.now.Add(delta), th.label)
-	ex.now = ex.now.Add(delta)
-	th.needCPU -= delta
-	th.consumed += delta
 }
 
 // interruptNow delivers an asynchronous interrupt to th's budgeted section:

@@ -52,10 +52,20 @@ func (ex *Exec) CheckInvariants() error {
 		}
 	}
 	if ex.kind == DirectKernel {
-		for i, th := range ex.ready.a {
-			if th.heapIdx != i {
-				note("ready heap: slot %d holds %s with heapIdx %d", i, th.name, th.heapIdx)
+		for d := range ex.readyQ {
+			for i, th := range ex.readyQ[d].a {
+				if th.heapIdx != i {
+					note("ready heap %d: slot %d holds %s with heapIdx %d", d, i, th.name, th.heapIdx)
+				}
+				if th.domain != d {
+					note("ready heap %d: holds %s of domain %d", d, th.name, th.domain)
+				}
 			}
+		}
+	}
+	for c, th := range ex.cpuRun {
+		if th != nil && th.lastCPU != c {
+			note("cpu %d: occupant %s has lastCPU %d", c, th.name, th.lastCPU)
 		}
 	}
 	if len(probs) == 0 {

@@ -163,8 +163,7 @@ func (ex *Exec) runChannel(until rtime.Time) error {
 	lastNow := ex.now
 	for ex.now < until {
 		ex.fireDueTimers()
-		th := ex.pickReady()
-		if th == nil {
+		if ex.assignCPUs() == 0 {
 			ev := ex.nextTimer()
 			if ev == nil {
 				break // quiescent: nothing will ever happen again
@@ -172,8 +171,9 @@ func (ex *Exec) runChannel(until rtime.Time) error {
 			ex.now = rtime.Min(ev.at, until)
 			continue
 		}
-		if th.needCPU > 0 {
-			ex.runSlice(th, until)
+		th := ex.zeroStepOccupant()
+		if th == nil {
+			ex.runSlices(until)
 			continue
 		}
 		// Zero-time step: let the thread execute Go code until its next

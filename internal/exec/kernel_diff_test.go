@@ -18,6 +18,10 @@ import (
 // diffConfigs is the executive configuration matrix under differential
 // test. The small MaxGoroutines forces worker recycling (and transient
 // over-cap growth) inside the scenarios rather than hiding it.
+// The two smp1 entries run the whole corpus through the M=1 SMP
+// reduction — an explicit CPU count and a non-trivial migration policy —
+// which must stay byte-identical to the uniprocessor schedules
+// (TestSMPM1MatchesUniprocessor pins the same property against Options{}).
 var diffConfigs = []struct {
 	name string
 	opts Options
@@ -26,6 +30,8 @@ var diffConfigs = []struct {
 	{"direct", Options{Kernel: DirectKernel}},
 	{"channel-pooled", Options{Kernel: ChannelKernel, MaxGoroutines: 2}},
 	{"direct-pooled", Options{Kernel: DirectKernel, MaxGoroutines: 2}},
+	{"channel-smp1", Options{Kernel: ChannelKernel, CPUs: 1, Migration: Clustered}},
+	{"direct-smp1", Options{Kernel: DirectKernel, CPUs: 1, Migration: Partitioned}},
 }
 
 // diffRun builds the scenario on every configuration, runs to the horizon
@@ -52,11 +58,18 @@ func diffRun(t *testing.T, name string, horizon rtime.Time, build func(ex *Exec)
 
 func compareExecs(t *testing.T, name string, ref, got *Exec) {
 	t.Helper()
+	compareExecsCPUs(t, name, ref, got, 1)
+}
+
+// compareExecsCPUs is compareExecs under an m-CPU occupancy bound: traces
+// must still be byte-identical, but up to m segments may overlap.
+func compareExecsCPUs(t *testing.T, name string, ref, got *Exec, m int) {
+	t.Helper()
 	if ref.Now() != got.Now() {
 		t.Errorf("%s: final time differs: ref=%v got=%v", name, ref.Now().TUs(), got.Now().TUs())
 	}
 	a, b := ref.Trace(), got.Trace()
-	if err := b.CheckSingleCPU(); err != nil {
+	if err := b.CheckCPUs(m); err != nil {
 		t.Errorf("%s: trace invalid: %v", name, err)
 	}
 	if len(a.Segments) != len(b.Segments) {

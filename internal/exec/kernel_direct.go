@@ -24,12 +24,15 @@ import (
 // needs no lock: only the token owner touches it.
 //
 // Determinism contract. dispatch reproduces the channel kernel's loop
-// structure exactly — fire due timers, pick the highest-priority ready
-// thread (FIFO within a priority by wake order), advance consume slices to
-// the next timer or horizon, drain zero-CPU threads at the horizon — so
-// both kernels produce identical schedules, timestamps and trace segments.
-// The ready queue and timer queue are binary heaps (heap.go) keyed exactly
-// like the channel kernel's linear-scan tie-breaks.
+// structure exactly — fire due timers, assign ready threads to the virtual
+// CPUs (per-domain top-K by priority, FIFO within a priority by wake
+// order; see smp.go), zero-step occupants in ascending CPU index order,
+// advance consume slices on every occupied CPU in lockstep to the next
+// timer or horizon, drain zero-CPU threads at the horizon — so both
+// kernels produce identical schedules, timestamps and trace segments. The
+// per-domain ready queues and the timer queue are binary heaps (heap.go)
+// keyed exactly like the channel kernel's linear-scan tie-breaks; with one
+// CPU the assignment degenerates to "the heap top runs", the pre-SMP loop.
 
 // directRun is the goroutine wrapper around a thread body (DirectKernel,
 // goroutine-per-thread mode).
@@ -210,27 +213,19 @@ func (ex *Exec) fireDueTimersHeap() {
 	}
 }
 
-// pickReadyZeroCPUHeap returns the highest-priority ready thread that is
-// not mid-consume (horizon drain). Threads mid-consume are popped aside and
-// re-pushed; the returned thread stays in the heap.
+// pickReadyZeroCPUHeap returns the highest-priority ready thread across
+// every scheduling domain that is not mid-consume (horizon drain — time is
+// frozen at the horizon instant, so the drain serializes zero-time
+// completions globally, exactly like the channel kernel's all-thread scan).
 func (ex *Exec) pickReadyZeroCPUHeap() *Thread {
-	var stash []*Thread
-	var found *Thread
-	for {
-		th := ex.ready.peek()
-		if th == nil {
-			break
+	var best *Thread
+	for d := range ex.readyQ {
+		th := ex.pickReadyZeroCPUDomain(d)
+		if th != nil && (best == nil || higherRank(th, best)) {
+			best = th
 		}
-		if th.needCPU == 0 {
-			found = th
-			break
-		}
-		stash = append(stash, ex.ready.pop())
 	}
-	for _, th := range stash {
-		ex.ready.push(th)
-	}
-	return found
+	return best
 }
 
 // runDirect is the DirectKernel Run: it seeds the scheduling loop in the
@@ -271,8 +266,7 @@ func (ex *Exec) dispatch(cur *Thread) resumeMsg {
 				continue
 			}
 			ex.fireDueTimersHeap()
-			th := ex.ready.peek()
-			if th == nil {
+			if ex.assignCPUs() == 0 {
 				ev := ex.theap.peek()
 				if ev == nil {
 					ex.phase = phaseDone // quiescent: nothing will ever happen again
@@ -281,8 +275,9 @@ func (ex *Exec) dispatch(cur *Thread) resumeMsg {
 				ex.now = rtime.Min(ev.at, ex.until)
 				continue
 			}
-			if th.needCPU > 0 {
-				ex.runSlice(th, ex.until)
+			th := ex.zeroStepOccupant()
+			if th == nil {
+				ex.runSlices(ex.until)
 				continue
 			}
 			// Zero-time step: let th execute Go code to its next kernel call.

@@ -74,11 +74,19 @@ type ExecModel struct {
 	// (core.TaskServer.SetClampCapacity); the excursion stays observable
 	// through CapacityFloor.
 	ClampServerCapacity bool
+	// CPUs sets the executive's virtual CPU count (exec.Options.CPUs; 0
+	// means 1). The paper's experiments are uniprocessor; M=1 runs the same
+	// code path byte-identically (TestExecutionTablesSMPM1), and M>1 opens
+	// the SMP scenario family (RunSMP).
+	CPUs int
+	// Migration selects the migration policy when CPUs > 1
+	// (exec.Options.Migration).
+	Migration exec.MigrationPolicy
 }
 
 // execOptions maps the model onto the executive configuration.
 func (m ExecModel) execOptions() exec.Options {
-	return exec.Options{Kernel: m.Kernel, MaxGoroutines: m.MaxGoroutines}
+	return exec.Options{Kernel: m.Kernel, MaxGoroutines: m.MaxGoroutines, CPUs: m.CPUs, Migration: m.Migration}
 }
 
 // DefaultExecModel is the calibrated execution platform used for Tables 3

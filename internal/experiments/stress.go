@@ -45,6 +45,10 @@ type StressParams struct {
 	// fault schedule is a pure function of (plan seed, job index), so it
 	// is identical on every executive configuration.
 	Faults *faults.Plan
+	// CPUs sets the executive's virtual CPU count (exec.Options.CPUs; 0
+	// means 1) under the Global migration policy — the multi-CPU stress
+	// smoke of cmd/stress -cpus.
+	CPUs int
 }
 
 // DefaultStressParams is the 10k-job configuration used by
@@ -70,6 +74,7 @@ type StressResult struct {
 	Horizon       rtime.Time     // configured stop instant
 	FinalTime     rtime.Time     // virtual clock when the run stopped
 	PeakWorkers   int            // pool goroutine high-water mark (0 in per-thread mode)
+	Migrations    int            // cross-CPU migrations (0 unless CPUs > 1)
 	// Fingerprint hashes every job completion (index, instant) in
 	// schedule order: two runs are schedule-identical iff it matches.
 	Fingerprint uint64
@@ -96,7 +101,7 @@ func RunStress(p StressParams) (*StressResult, error) {
 		p.PriorityBands = 1
 	}
 	rng := &stressRand{s: p.Seed ^ 0x9e3779b97f4a7c15}
-	ex := exec.NewWithOptions(nil, exec.Options{Kernel: p.Kernel, MaxGoroutines: p.MaxGoroutines})
+	ex := exec.NewWithOptions(nil, exec.Options{Kernel: p.Kernel, MaxGoroutines: p.MaxGoroutines, CPUs: p.CPUs})
 	res := &StressResult{Jobs: p.Jobs, Fingerprint: 14695981039346656037}
 
 	// Release window: jobs at ~0.5tu average cost, spread to ~55% load,
@@ -160,6 +165,7 @@ func RunStress(p StressParams) (*StressResult, error) {
 	}
 	res.FinalTime = ex.Now()
 	res.PeakWorkers = ex.PoolPeak()
+	res.Migrations = ex.Migrations()
 	for _, th := range ex.Threads() {
 		res.TotalConsumed += th.Consumed()
 	}

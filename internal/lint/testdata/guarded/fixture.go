@@ -53,3 +53,41 @@ func (p *pool) rename(n string) {
 func (p *pool) sloppyBump() {
 	p.live++ // want `access to live \(guarded by mu\) in sloppyBump`
 }
+
+// smpCore mimics the SMP executive's per-CPU shape: the parked/running
+// wake flags live on a core struct but are guarded by the owning
+// executive's mutex, reached through a chain (c.ex.mu.Lock()).
+type smpCore struct {
+	ex       *smpExec
+	occupant int  // thread index running on this core; guarded by mu
+	parked   bool // guarded by mu
+	index    int  // immutable after construction: not flagged
+}
+
+type smpExec struct {
+	mu sync.Mutex
+}
+
+func (c *smpCore) place(th int) {
+	c.ex.mu.Lock()
+	defer c.ex.mu.Unlock()
+	c.occupant = th // chained lock c.ex.mu: ok
+	c.parked = false
+}
+
+// idleLocked runs with mu held by its caller; the "Locked" suffix
+// declares it.
+func (c *smpCore) idleLocked() {
+	c.occupant = -1
+	c.parked = true
+}
+
+func (c *smpCore) racyOccupant() int {
+	return c.occupant // want `access to occupant \(guarded by mu\) in racyOccupant`
+}
+
+func (c *smpCore) sloppyPark() {
+	if c.index >= 0 {
+		c.parked = true // want `access to parked \(guarded by mu\) in sloppyPark`
+	}
+}

@@ -146,6 +146,9 @@ var vmDiffConfigs = []struct {
 	{"direct", exec.Options{Kernel: exec.DirectKernel}},
 	{"channel-pooled", exec.Options{Kernel: exec.ChannelKernel, MaxGoroutines: 2}},
 	{"direct-pooled", exec.Options{Kernel: exec.DirectKernel, MaxGoroutines: 2}},
+	// The M=1 SMP reduction must be byte-identical to the uniprocessor
+	// schedule on the whole VM corpus too.
+	{"direct-smp1", exec.Options{Kernel: exec.DirectKernel, CPUs: 1, Migration: exec.Partitioned}},
 }
 
 func TestKernelDiffVMCorpus(t *testing.T) {

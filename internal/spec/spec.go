@@ -7,6 +7,7 @@
 //	periodic tau1 6 2 prio=2      # name period cost [prio=] [offset=] [deadline=]
 //	aperiodic J1 2.5 3            # name release cost [declared=] [deadline=] [value=]
 //	horizon 60
+//	cpus 4                        # virtual CPUs for -exec runs (default 1)
 //	faults seed=1 overrun=0.2:0.5 # deterministic fault plan (see faults.ParseArgs)
 //
 // Durations and instants are in time units unless suffixed (see
@@ -41,6 +42,11 @@ type File struct {
 	Policy  PolicyKind // dispatcher the file selects
 	System  sim.System // the described workload
 	Horizon rtime.Time // observation window (default 60 tu)
+	// CPUs is the virtual CPU count declared by a cpus directive (0 when
+	// absent, meaning 1). It only affects -exec runs: the executive
+	// schedules the workload on this many CPUs under the Global migration
+	// policy.
+	CPUs int
 	// Faults is the optional deterministic fault-injection plan declared
 	// by a faults directive; nil when absent.
 	Faults *faults.Plan
@@ -162,6 +168,16 @@ func (f *File) parseLine(fields []string) error {
 			}
 		}
 		f.System.Periodics = append(f.System.Periodics, t)
+	case "cpus":
+		if len(fields) != 2 {
+			return fmt.Errorf("cpus wants one argument")
+		}
+		if err := parseInt(fields[1], &f.CPUs); err != nil {
+			return err
+		}
+		if f.CPUs < 1 {
+			return fmt.Errorf("cpus wants a positive CPU count (got %d)", f.CPUs)
+		}
 	case "faults":
 		p, err := faults.ParseArgs(fields[1:])
 		if err != nil {
@@ -243,6 +259,9 @@ func Format(f *File) string {
 		b.WriteString("policy fp\n")
 	}
 	fmt.Fprintf(&b, "horizon %s\n", rtime.Duration(f.Horizon))
+	if f.CPUs > 1 {
+		fmt.Fprintf(&b, "cpus %d\n", f.CPUs)
+	}
 	if s := f.System.Server; s != nil {
 		// Pick the policy's name over sorted keys so the rendered form is a
 		// pure function of the file (map iteration order must not leak into

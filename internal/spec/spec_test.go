@@ -12,6 +12,7 @@ const sample = `
 # Table 1 task set
 policy fp
 horizon 18tu
+cpus 2
 server ps-lim 3 6 prio=10
 periodic tau1 6 2 prio=2
 periodic tau2 6 1 prio=1
@@ -29,6 +30,9 @@ func TestParseSample(t *testing.T) {
 	}
 	if f.Horizon != rtime.AtTU(18) {
 		t.Errorf("horizon = %v", f.Horizon)
+	}
+	if f.CPUs != 2 {
+		t.Errorf("cpus = %d", f.CPUs)
 	}
 	if f.System.Server == nil || f.System.Server.Policy != sim.LimitedPollingServer ||
 		f.System.Server.Capacity != rtime.TUs(3) || f.System.Server.Priority != 10 {
@@ -73,6 +77,10 @@ func TestParseErrors(t *testing.T) {
 		"horizon",
 		"horizon xyz",
 		"frobnicate 1 2",
+		"cpus",
+		"cpus zero",
+		"cpus 0",
+		"cpus -1",
 		"periodic t1 6 2 prio=abc",
 		"aperiodic j 0 2 value=abc",
 		"periodic t1 1 5", // cost > period fails validation
@@ -106,6 +114,9 @@ func TestFormatRoundTrip(t *testing.T) {
 	}
 	if g.Horizon != f.Horizon || g.Policy != f.Policy {
 		t.Error("header round trip")
+	}
+	if g.CPUs != f.CPUs {
+		t.Errorf("cpus lost in round trip: %d vs %d", g.CPUs, f.CPUs)
 	}
 	if len(g.System.Periodics) != len(f.System.Periodics) ||
 		len(g.System.Aperiodics) != len(f.System.Aperiodics) {

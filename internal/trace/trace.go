@@ -227,17 +227,32 @@ func (tr *Trace) End() rtime.Time {
 }
 
 // CheckSingleCPU verifies that no two segments overlap in time — the
-// fundamental invariant of a uniprocessor schedule. Segments must have been
-// recorded in chronological order (both engines do).
-func (tr *Trace) CheckSingleCPU() error {
+// fundamental invariant of a uniprocessor schedule.
+func (tr *Trace) CheckSingleCPU() error { return tr.CheckCPUs(1) }
+
+// CheckCPUs verifies that at most m segments overlap at any instant — the
+// occupancy invariant of an m-CPU schedule (m = 1 is the uniprocessor
+// check). Segments must have been recorded in chronological order (both
+// engines do).
+func (tr *Trace) CheckCPUs(m int) error {
 	segs := make([]Segment, len(tr.Segments))
 	copy(segs, tr.Segments)
 	sort.SliceStable(segs, func(i, j int) bool { return segs[i].Start < segs[j].Start })
-	for i := 1; i < len(segs); i++ {
-		if segs[i].Start < segs[i-1].End {
-			return fmt.Errorf("trace: segments overlap: %s[%v,%v) and %s[%v,%v)",
-				segs[i-1].Entity, segs[i-1].Start, segs[i-1].End,
-				segs[i].Entity, segs[i].Start, segs[i].End)
+	var active []Segment // overlapping window, bounded by m
+	for _, s := range segs {
+		live := active[:0]
+		for _, a := range active {
+			if a.End > s.Start {
+				live = append(live, a)
+			}
+		}
+		active = append(live, s)
+		if len(active) > m {
+			prev := active[len(active)-2]
+			return fmt.Errorf("trace: %d segments overlap on %d CPU(s): %s[%v,%v) and %s[%v,%v)",
+				len(active), m,
+				prev.Entity, prev.Start, prev.End,
+				s.Entity, s.Start, s.End)
 		}
 	}
 	return nil
