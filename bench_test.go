@@ -16,6 +16,7 @@ import (
 	"rtsj/internal/gen"
 	"rtsj/internal/harness"
 	"rtsj/internal/metrics"
+	"rtsj/internal/obs"
 	"rtsj/internal/rtime"
 	"rtsj/internal/rtsjvm"
 	"rtsj/internal/sim"
@@ -357,6 +358,32 @@ func BenchmarkExecLargeN(b *testing.B) {
 	}
 	b.ReportMetric(float64(p.Jobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
 	b.ReportMetric(float64(res.PeakWorkers), "peak-workers")
+}
+
+// BenchmarkExecObsOverhead measures the observability layer's cost on the
+// large-N stress scenario. The disabled sub-benchmark runs with no stats
+// registry — the nil fast path every default configuration takes, which
+// must stay within noise of BenchmarkExecLargeN — and the enabled one runs
+// with a full exec.Stats registry attached, bounding the worst-case cost
+// of turning the counters on.
+func BenchmarkExecObsOverhead(b *testing.B) {
+	run := func(b *testing.B, stats *exec.Stats) {
+		p := experiments.DefaultStressParams()
+		p.Stats = stats
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := experiments.RunStress(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Completed != p.Jobs {
+				b.Fatalf("completed %d of %d jobs", res.Completed, p.Jobs)
+			}
+		}
+		b.ReportMetric(float64(p.Jobs*b.N)/b.Elapsed().Seconds(), "jobs/s")
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("enabled", func(b *testing.B) { run(b, exec.NewStats(obs.NewRegistry())) })
 }
 
 // BenchmarkExecPeriodicSteadyState runs the 10k-periodic-entity

@@ -161,7 +161,7 @@ func main() {
 			break
 		}
 		fmt.Printf("benchgate: re-measuring %d contested benchmark(s), retry %d\n", len(contested), retry+1)
-		again, err := collect("^("+strings.Join(contested, "|")+")$", *benchtime, *count, *pkg, "", "")
+		again, err := collect("^("+strings.Join(topLevel(contested), "|")+")$", *benchtime, *count, *pkg, "", "")
 		if err != nil {
 			// Every contested benchmark may be gone from the package (the
 			// rename/delete case): nothing to re-measure, let the gate
@@ -182,6 +182,24 @@ func main() {
 	if failed := gate(base, snap, *threshold); failed {
 		os.Exit(1)
 	}
+}
+
+// topLevel maps benchmark names to their unique top-level functions: a
+// contested sub-benchmark ("BenchmarkX/variant") is re-measured by
+// re-running BenchmarkX — a slash inside the -bench regex would otherwise
+// be split by go test's per-segment matching and never list anything.
+func topLevel(names []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, name := range names {
+		top, _, _ := strings.Cut(name, "/")
+		if !seen[top] {
+			seen[top] = true
+			out = append(out, top)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // missingFromRun returns the baseline benchmarks the current run did not

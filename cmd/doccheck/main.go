@@ -31,7 +31,7 @@ import (
 )
 
 func main() {
-	pkgs := flag.String("pkgs", "internal/core,internal/exec,internal/rtsjvm,internal/trace,internal/harness,internal/sim,internal/experiments,internal/gen,internal/metrics,internal/analysis,internal/spec,internal/faults,internal/lint",
+	pkgs := flag.String("pkgs", "internal/core,internal/exec,internal/rtsjvm,internal/trace,internal/harness,internal/sim,internal/experiments,internal/gen,internal/metrics,internal/analysis,internal/spec,internal/faults,internal/lint,internal/obs",
 		"comma-separated package directories to check for missing doc comments")
 	md := flag.String("md", "README.md,docs",
 		"comma-separated markdown files or directories to link-check")

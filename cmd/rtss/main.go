@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	rtss [-f system.rtss] [-exec] [-scale 1tu] [-quiet]
+//	rtss [-f system.rtss] [-exec] [-scale 1tu] [-quiet] [-perfetto out.json]
 //
 // Reads the system from the file (or stdin) in the internal/spec format.
 // With -exec, the workload is additionally executed on the Task Server
@@ -47,6 +47,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	quiet := fs.Bool("quiet", false, "suppress the gantt chart, print metrics only")
 	csvOut := fs.String("csv", "", "write the simulation trace as CSV to this file")
 	jsonOut := fs.String("json", "", "write the simulation trace as JSON to this file")
+	perfettoOut := fs.String("perfetto", "", "write the schedule as Chrome trace-event JSON (ui.perfetto.dev) to this file; with -exec, the execution schedule")
 	faultsFlag := fs.String("faults", "", "fault plan (e.g. 'seed=1 overrun=0.2:0.5'); overrides the file's faults directive; 'off' disables")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -90,7 +91,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	// then also skips its per-job label formatting (the fast path the
 	// table experiments use).
 	var tr *trace.Trace
-	if !*quiet || *csvOut != "" || *jsonOut != "" {
+	if !*quiet || *csvOut != "" || *jsonOut != "" || (*perfettoOut != "" && !*execToo) {
 		tr = trace.New()
 	}
 	var d sim.Dispatcher
@@ -122,14 +123,20 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			return err
 		}
 	}
+	if *perfettoOut != "" && !*execToo {
+		if err := writeTrace(*perfettoOut, tr.WritePerfetto); err != nil {
+			return err
+		}
+	}
 
 	if *execToo {
 		if parsed.Policy != spec.FP || parsed.System.Server == nil {
 			return fmt.Errorf("-exec needs an FP system with a ps/ds server")
 		}
-		// Quiet executions run on the executive's trace-free fast path.
+		// Quiet executions run on the executive's trace-free fast path —
+		// unless a Perfetto export needs the execution schedule recorded.
 		runExec := experiments.RunExecution
-		if *quiet {
+		if *quiet && *perfettoOut == "" {
 			runExec = experiments.RunExecutionMetrics
 		}
 		model := experiments.DefaultExecModel()
@@ -145,6 +152,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			fmt.Fprintln(stdout, o.Trace.Gantt(opts))
 		}
 		printMetrics(stdout, metrics.FromRecords(o.Records), 0)
+		if *perfettoOut != "" {
+			if err := writeTrace(*perfettoOut, o.Trace.WritePerfetto); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

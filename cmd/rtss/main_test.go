@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -54,6 +55,95 @@ func TestGoldenTraceExport(t *testing.T) {
 			t.Errorf("%s differs from golden output:\n--- got ---\n%s\n--- want ---\n%s",
 				g.golden, g.got, want)
 		}
+	}
+}
+
+// TestGoldenPerfettoExport pins the -perfetto exporter byte for byte on a
+// small SMP scenario (testdata/smp.rtss: the golden task set on 2 virtual
+// CPUs), so the trace_event serialization cannot drift silently. Refresh
+// after an intentional format change:
+//
+//	go test ./cmd/rtss -run TestGoldenPerfettoExport -update
+func TestGoldenPerfettoExport(t *testing.T) {
+	tmp := t.TempDir()
+	out := filepath.Join(tmp, "out.perfetto.json")
+	var stdout bytes.Buffer
+	err := run([]string{
+		"-f", "testdata/smp.rtss",
+		"-exec", "-quiet",
+		"-perfetto", out,
+	}, strings.NewReader(""), &stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mustRead(t, out)
+
+	const golden = "testdata/smp.perfetto.json"
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("%v (run with -update to create the golden file)", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s differs from golden output:\n--- got ---\n%s\n--- want ---\n%s",
+				golden, got, want)
+		}
+	}
+
+	// Schema sanity: the file must decode as a trace_event JSON object and
+	// every event must fit the format (known phase, named, on a track).
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Ts   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			Pid  *int     `json:"pid"`
+			Tid  *int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatalf("perfetto output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want \"ms\"", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	sawCPU1 := false
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" {
+			t.Errorf("event %d has no name", i)
+		}
+		if ev.Pid == nil || ev.Tid == nil {
+			t.Errorf("event %d (%s) lacks pid/tid", i, ev.Name)
+			continue
+		}
+		switch ev.Ph {
+		case "M": // metadata: names a process or thread track
+		case "X": // complete slice: needs a start and a duration
+			if ev.Ts == nil || ev.Dur == nil || *ev.Dur < 0 {
+				t.Errorf("X event %d (%s) lacks ts/dur", i, ev.Name)
+			}
+			if *ev.Tid == 1 {
+				sawCPU1 = true
+			}
+		case "i": // instant
+			if ev.Ts == nil {
+				t.Errorf("instant %d (%s) lacks ts", i, ev.Name)
+			}
+		default:
+			t.Errorf("event %d (%s) has unknown phase %q", i, ev.Name, ev.Ph)
+		}
+	}
+	if !sawCPU1 {
+		t.Error("no execution slice on CPU 1: the 2-CPU scenario did not spread")
 	}
 }
 

@@ -46,6 +46,7 @@ func main() {
 	pooled := flag.Int("pooled", 0, "overload: run pooled with this many workers (0: goroutine per thread)")
 	activation := flag.Bool("activation", false, "overload: activation-driven periodic dispatch")
 	quiet := flag.Bool("quiet", false, "overload/smp: one summary line per scenario")
+	progress := flag.Bool("progress", false, "campaign: report live progress (systems/s, ETA) on stderr")
 	cpus := flag.Int("cpus", 4, "smp: virtual CPU count")
 	flag.Parse()
 	if *workers < 0 {
@@ -67,7 +68,7 @@ func main() {
 	case "overload":
 		runOverload(*scenario, *events, *seed, *faultsFlag, *pooled, *activation, *quiet)
 	case "campaign":
-		runCampaign(*events, *seed)
+		runCampaign(*events, *seed, *progress)
 	case "smp":
 		runSMP(*scenario, *cpus, *pooled, *activation, *quiet)
 	default:
@@ -108,7 +109,7 @@ func runFigures(n int, ideal bool) {
 
 // runCampaign streams the stock utilization sweep in-process and prints
 // the resulting schedulability curve.
-func runCampaign(systems int, seed int64) {
+func runCampaign(systems int, seed int64, progress bool) {
 	spec := experiments.DefaultCampaignSpec()
 	if systems > 0 {
 		spec.Systems = systems
@@ -116,7 +117,11 @@ func runCampaign(systems int, seed int64) {
 	if seed != 0 {
 		spec.Seed = seed
 	}
-	curve, err := experiments.RunCampaign(spec)
+	var opts experiments.CampaignOptions
+	if progress {
+		opts.Progress = os.Stderr
+	}
+	curve, err := experiments.RunCampaignOpts(spec, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "scenarios: %v\n", err)
 		os.Exit(1)

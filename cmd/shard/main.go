@@ -14,6 +14,12 @@
 // -workers bounds the worker pool of this process (default $RTSJ_WORKERS,
 // else GOMAXPROCS); the coordinator's own -workers value does not travel
 // over the wire.
+//
+// -debug-addr starts an HTTP debug endpoint alongside either mode:
+// /debug/pprof for profiles and /debug/vars for the live obs snapshot
+// ("obs": request/system/error counters, in-flight gauge, request-latency
+// histogram, harness pool gauges) — the fleet-health scrape surface of a
+// long-lived shard.
 package main
 
 import (
@@ -25,18 +31,35 @@ import (
 
 	"rtsj/internal/experiments"
 	"rtsj/internal/harness"
+	"rtsj/internal/obs"
 )
 
 func main() {
 	listen := flag.String("listen", "", "serve TCP connections on this address instead of stdin/stdout")
 	workers := flag.Int("workers", 0, "worker pool size for this shard (default $RTSJ_WORKERS, else GOMAXPROCS)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
 	flag.Parse()
 	if *workers > 0 {
 		harness.SetWorkers(*workers)
 	}
 
+	// The obs registry exists regardless of -debug-addr (the per-request
+	// accounting is cheap); the flag only decides whether it is served.
+	reg := obs.NewRegistry()
+	stats := experiments.NewShardStats(reg)
+	harness.SetStats(harness.NewStats(reg))
+	reg.Publish("obs")
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shard: -debug-addr:", err)
+			os.Exit(1)
+		}
+		log.Printf("shard: debug endpoint on http://%s/debug/", addr)
+	}
+
 	if *listen == "" {
-		if err := experiments.ServeShard(os.Stdin, os.Stdout); err != nil {
+		if err := experiments.ServeShardStats(os.Stdin, os.Stdout, stats); err != nil {
 			fmt.Fprintln(os.Stderr, "shard:", err)
 			os.Exit(1)
 		}
@@ -57,7 +80,7 @@ func main() {
 		}
 		go func(c net.Conn) {
 			defer c.Close()
-			if err := experiments.ServeShard(c, c); err != nil {
+			if err := experiments.ServeShardStats(c, c, stats); err != nil {
 				log.Printf("shard: %s: %v", c.RemoteAddr(), err)
 			}
 		}(conn)

@@ -17,6 +17,14 @@
 //	stress [-scenario sporadic|steady] [-n 10000] [-maxgoroutines 64]
 //	       [-kernel direct|channel] [-activation] [-background 4] [-cpus 4]
 //	       [-bands 6] [-seed 2007] [-faults 'seed=1 drop=0.05'] [-quiet]
+//	       [-stats] [-perfetto out.json] [-debug-addr 127.0.0.1:6060]
+//
+// -stats prints the executive's obs snapshot (context switches, heap
+// high-water marks, pool churn) after the run; -perfetto records the
+// schedule and exports it as Chrome trace-event JSON; -debug-addr serves
+// /debug/pprof and /debug/vars (with the same snapshot under "obs") while
+// the run executes. All three are observational: the summary lines and
+// the fingerprint are identical with or without them.
 //
 // With -maxgoroutines 0 the executive falls back to one goroutine per
 // thread (the default outside this command), which is useful to compare
@@ -36,6 +44,9 @@ import (
 	"rtsj/internal/exec"
 	"rtsj/internal/experiments"
 	"rtsj/internal/faults"
+	"rtsj/internal/harness"
+	"rtsj/internal/obs"
+	"rtsj/internal/trace"
 )
 
 func main() {
@@ -53,6 +64,9 @@ func main() {
 	seed := flag.Uint64("seed", def.Seed, "scenario seed")
 	faultsFlag := flag.String("faults", "", "fault plan for the sporadic jobs (e.g. 'seed=1 overrun=0.2:0.5 drop=0.05'); 'off' or empty for none")
 	quiet := flag.Bool("quiet", false, "print only the summary line")
+	stats := flag.Bool("stats", false, "print the executive's obs stats snapshot after the run")
+	perfetto := flag.String("perfetto", "", "record the schedule and write Chrome trace-event JSON (ui.perfetto.dev) to this file")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address during the run")
 	flag.Parse()
 	plan, err := faults.Parse(*faultsFlag)
 	if err != nil {
@@ -87,6 +101,30 @@ func main() {
 		}
 	}
 
+	// The observability layer: an obs registry backs -stats and the
+	// /debug/vars snapshot; -perfetto swaps the trace-free fast path for a
+	// recording trace. None of it perturbs the schedule (the fingerprint
+	// in the summary line pins that).
+	var reg *obs.Registry
+	var execStats *exec.Stats
+	if *stats || *debugAddr != "" {
+		reg = obs.NewRegistry()
+		execStats = exec.NewStats(reg)
+		harness.SetStats(harness.NewStats(reg))
+		reg.Publish("obs")
+	}
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fatal(fmt.Errorf("-debug-addr: %v", err))
+		}
+		fmt.Fprintf(os.Stderr, "stress: debug endpoint on http://%s/debug/\n", addr)
+	}
+	var tr *trace.Trace
+	if *perfetto != "" {
+		tr = trace.New()
+	}
+
 	switch *scenario {
 	case "sporadic":
 		p := experiments.StressParams{
@@ -99,6 +137,10 @@ func main() {
 			PeriodicActivation: *activation,
 			Faults:             plan,
 			CPUs:               *cpus,
+			Stats:              execStats,
+		}
+		if tr != nil {
+			p.Sink = tr
 		}
 		if *n > 0 {
 			p.Jobs = *n
@@ -113,6 +155,10 @@ func main() {
 			Kernel:        kind,
 			MaxGoroutines: *maxg,
 			Activation:    *activation,
+			Stats:         execStats,
+		}
+		if tr != nil {
+			p.Sink = tr
 		}
 		if *n > 0 {
 			p.Entities = *n
@@ -120,6 +166,23 @@ func main() {
 		runSteady(p, *quiet)
 	default:
 		fatal(fmt.Errorf("unknown scenario %q (want sporadic or steady)", *scenario))
+	}
+
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.WritePerfetto(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *stats {
+		fmt.Print(reg.Format())
 	}
 }
 

@@ -26,6 +26,7 @@ type campaignFlags struct {
 	shardAddr *string
 	batch     *int
 	format    *string
+	progress  *bool
 }
 
 func registerCampaignFlags() campaignFlags {
@@ -40,6 +41,7 @@ func registerCampaignFlags() campaignFlags {
 		shardAddr: flag.String("shard-addr", "", "campaign: comma-separated TCP shard addresses (overrides -shards)"),
 		batch:     flag.Int("batch", 0, "campaign: systems per shard request (0: auto)"),
 		format:    flag.String("format", "text", "campaign: output format (text, csv, json)"),
+		progress:  flag.Bool("progress", false, "campaign: report live progress (systems/s, ETA, shard health) on stderr"),
 	}
 }
 
@@ -114,13 +116,19 @@ func runCampaign(cf campaignFlags, workers int) {
 }
 
 func dispatchCampaign(spec experiments.CampaignSpec, cf campaignFlags, workers int) (*experiments.Curve, error) {
+	// Progress goes to stderr so the curve output stays clean for
+	// redirection; the curve itself is byte-identical either way.
+	var opts experiments.CampaignOptions
+	if *cf.progress {
+		opts.Progress = os.Stderr
+	}
 	switch {
 	case *cf.shardAddr != "":
-		return runCampaignTCP(spec, strings.Split(*cf.shardAddr, ","), *cf.batch)
+		return runCampaignTCP(spec, strings.Split(*cf.shardAddr, ","), *cf.batch, opts)
 	case *cf.shards > 0:
-		return runCampaignSubprocess(spec, *cf.shards, *cf.shardBin, *cf.batch, workers)
+		return runCampaignSubprocess(spec, *cf.shards, *cf.shardBin, *cf.batch, workers, opts)
 	default:
-		return experiments.RunCampaign(spec)
+		return experiments.RunCampaignOpts(spec, opts)
 	}
 }
 
@@ -128,7 +136,7 @@ func dispatchCampaign(spec experiments.CampaignSpec, cf campaignFlags, workers i
 // protocol over their stdin/stdout pipes. The coordinator's -workers value
 // is forwarded to every shard: the flag bounds each process's pool, so n
 // shards run up to n*workers simulation goroutines machine-wide.
-func runCampaignSubprocess(spec experiments.CampaignSpec, n int, bin string, batch, workers int) (*experiments.Curve, error) {
+func runCampaignSubprocess(spec experiments.CampaignSpec, n int, bin string, batch, workers int, opts experiments.CampaignOptions) (*experiments.Curve, error) {
 	conns := make([]experiments.ShardConn, n)
 	cmds := make([]*exec.Cmd, n)
 	for i := 0; i < n; i++ {
@@ -152,7 +160,7 @@ func runCampaignSubprocess(spec experiments.CampaignSpec, n int, bin string, bat
 		conns[i] = experiments.ShardConn{Name: fmt.Sprintf("shard %d (pid %d)", i, cmd.Process.Pid), R: out, W: in}
 		cmds[i] = cmd
 	}
-	curve, err := experiments.RunCampaignSharded(spec, conns, batch)
+	curve, err := experiments.RunCampaignShardedOpts(spec, conns, batch, opts)
 	for i, cmd := range cmds {
 		// Closing stdin is the shutdown signal: ServeShard returns on EOF.
 		if c, ok := conns[i].W.(interface{ Close() error }); ok {
@@ -167,7 +175,7 @@ func runCampaignSubprocess(spec experiments.CampaignSpec, n int, bin string, bat
 
 // runCampaignTCP connects to already-running shard workers (cmd/shard
 // -listen) over TCP.
-func runCampaignTCP(spec experiments.CampaignSpec, addrs []string, batch int) (*experiments.Curve, error) {
+func runCampaignTCP(spec experiments.CampaignSpec, addrs []string, batch int, opts experiments.CampaignOptions) (*experiments.Curve, error) {
 	conns := make([]experiments.ShardConn, 0, len(addrs))
 	defer func() {
 		for _, c := range conns {
@@ -182,5 +190,5 @@ func runCampaignTCP(spec experiments.CampaignSpec, addrs []string, batch int) (*
 		}
 		conns = append(conns, experiments.ShardConn{Name: addr, R: c, W: c})
 	}
-	return experiments.RunCampaignSharded(spec, conns, batch)
+	return experiments.RunCampaignShardedOpts(spec, conns, batch, opts)
 }

@@ -128,11 +128,13 @@ func (ex *Exec) rearm(th *Thread) {
 	if th.missPolicy == MissContinueLate {
 		if th.nextRel < ex.now {
 			th.missed++
+			ex.stats.Misses.Inc()
 		}
 	} else {
 		for th.nextRel < ex.now {
 			th.nextRel = th.nextRel.Add(th.period)
 			th.missed++
+			ex.stats.Misses.Inc()
 		}
 	}
 	if th.dynPrio != nil {
@@ -150,6 +152,9 @@ func (ex *Exec) rearm(th *Thread) {
 // the entity rearms for the release falling at that very instant. Every
 // other configuration dispatches the body directly.
 func (th *Thread) callBody() {
+	if th.periodic {
+		th.ex.stats.Dispatches.Inc()
+	}
 	tc := &TC{th: th}
 	if th.periodic && th.missPolicy == MissAbort {
 		if tc.WithBudget(th.nextRel.Add(th.period).Sub(th.ex.now), func() { th.body(tc) }) {

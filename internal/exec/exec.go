@@ -62,6 +62,12 @@ type Options struct {
 	// demand each time it resumes a consume on a different CPU than the
 	// one it last occupied — the cache-reload penalty of a migration.
 	MigrationCost rtime.Duration
+	// Stats, when non-nil, wires the executive's kernel counters (context
+	// switches, preemptions, heap high-water marks, pool churn) into the
+	// given instrument set. Nil (the default) disables all accounting:
+	// every hook site collapses to one predictable branch. Stats never
+	// affect scheduling, traces or metrics — they are observational only.
+	Stats *Stats
 }
 
 // MissPolicy selects how a periodic entity (SpawnPeriodic) handles a
@@ -265,8 +271,11 @@ type Exec struct {
 	kind    Kernel
 	now     rtime.Time
 	threads []*Thread
-	sink    trace.Sink   // never nil; trace.Nop when nothing records
-	tr      *trace.Trace // the sink when it is a *trace.Trace, else nil
+	sink    trace.Sink    // never nil; trace.Nop when nothing records
+	tr      *trace.Trace  // the sink when it is a *trace.Trace, else nil
+	cpuSink trace.CPUSink // sink when it also records CPU indices, else nil
+	stats   Stats         // instrument set; zero (all nil) when disabled
+	statsOn bool          // Options.Stats was non-nil; guards hook bodies
 
 	// Pooled mode (Options.MaxGoroutines > 0): the shared worker pool.
 	pooled bool
@@ -336,6 +345,11 @@ func NewWithOptions(sink trace.Sink, opts Options) *Exec {
 	}
 	ex := &Exec{kind: opts.Kernel, sink: sink, pooled: opts.MaxGoroutines > 0}
 	ex.tr, _ = sink.(*trace.Trace)
+	ex.cpuSink, _ = sink.(trace.CPUSink)
+	if opts.Stats != nil {
+		ex.stats = *opts.Stats
+		ex.statsOn = true
+	}
 	ex.ncpu = opts.CPUs
 	if ex.ncpu <= 0 {
 		ex.ncpu = 1
@@ -486,8 +500,14 @@ func (ex *Exec) At(at rtime.Time, fn func()) (cancel func()) {
 	ev := &timerEv{at: at, seq: ex.nextSeq(), fn: fn}
 	if ex.kind == ChannelKernel {
 		ex.timers = append(ex.timers, ev)
+		if ex.statsOn {
+			ex.stats.TimerHeapMax.Max(int64(len(ex.timers)))
+		}
 	} else {
 		ex.theap.push(ev)
+		if ex.statsOn {
+			ex.stats.TimerHeapMax.Max(int64(len(ex.theap.a)))
+		}
 	}
 	return func() { ev.cancelled = true }
 }
@@ -510,6 +530,9 @@ func (ex *Exec) makeReady(th *Thread) {
 			ex.readyQ[th.domain].fix(th.heapIdx) // seq grew: sink to the new FIFO rank
 		} else {
 			ex.readyQ[th.domain].push(th)
+			if ex.statsOn {
+				ex.stats.ReadyMax.Max(int64(len(ex.readyQ[th.domain].a)))
+			}
 		}
 	}
 }

@@ -68,6 +68,7 @@ func (th *Thread) channelBody() {
 // on a pool worker, or a fresh per-activation goroutine outside pooled
 // mode.
 func (ex *Exec) resume(th *Thread) {
+	ex.stats.ContextSwitches.Inc()
 	if !th.started {
 		th.started = true
 		th.detached = false

@@ -171,6 +171,7 @@ func (ex *Exec) wakeMain() {
 // per-activation goroutine outside pooled mode) instead of woken: it has
 // no goroutine parked yet.
 func (ex *Exec) handoff(cur, next *Thread) resumeMsg {
+	ex.stats.ContextSwitches.Inc()
 	// Read our own state while we still hold the token: the instant next
 	// is woken (or handed to a pool worker) it may run kernel code that
 	// writes thread states concurrently with this goroutine's epilogue.

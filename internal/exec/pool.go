@@ -82,6 +82,9 @@ func (ex *Exec) startThread(th *Thread) {
 	p := &ex.pool
 	p.mu.Lock()
 	p.queue = append(p.queue, th)
+	if ex.statsOn {
+		ex.stats.PoolQueueMax.Max(int64(len(p.queue)))
+	}
 	if p.avail >= len(p.queue) {
 		p.cond.Signal()
 	} else {
@@ -91,6 +94,7 @@ func (ex *Exec) startThread(th *Thread) {
 		if p.live > p.peak {
 			p.peak = p.live
 		}
+		ex.stats.PoolSpawns.Inc()
 		go ex.poolWorker()
 	}
 	p.mu.Unlock()
@@ -120,6 +124,7 @@ func (ex *Exec) bodyFinished(th *Thread) {
 	if p.live > p.maxResident && p.avail > 0 {
 		p.live--
 		w.retire = true
+		ex.stats.PoolRetires.Inc()
 		p.cond.Broadcast() // close() waits on live==0
 	} else {
 		p.avail++

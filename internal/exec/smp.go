@@ -170,6 +170,11 @@ func (ex *Exec) assignCPUs() int {
 		} else {
 			th = ex.pickReady()
 		}
+		if ex.statsOn {
+			if prev := ex.cpuRun[0]; prev != nil && prev != th && prev.state == stateReady && prev.needCPU > 0 {
+				ex.stats.Preemptions.Inc()
+			}
+		}
 		ex.cpuRun[0] = th
 		if th == nil {
 			return 0
@@ -256,6 +261,9 @@ func (ex *Exec) placeDomain(cpus []int, picks []*Thread) int {
 				break
 			}
 		}
+		if ex.statsOn && ex.cpuRun[c] == nil && prev.state == stateReady && prev.needCPU > 0 {
+			ex.stats.Preemptions.Inc()
+		}
 	}
 	for i, th := range picks {
 		if th == nil || th.lastCPU < 0 {
@@ -284,6 +292,7 @@ func (ex *Exec) placeDomain(cpus []int, picks []*Thread) int {
 		if th.lastCPU >= 0 && th.lastCPU != c {
 			th.migrations++
 			ex.migrations++
+			ex.stats.Migrations.Inc()
 			if ex.migrateCost > 0 && th.needCPU > 0 {
 				// The cache-reload penalty: a thread resuming a consume on
 				// a new CPU owes extra demand. Zero-time placements (the
@@ -330,11 +339,15 @@ func (ex *Exec) runSlices(until rtime.Time) {
 		return
 	}
 	end := ex.now.Add(delta)
-	for _, th := range ex.cpuRun {
+	for c, th := range ex.cpuRun {
 		if th == nil {
 			continue
 		}
-		ex.sink.Run(th.name, ex.now, end, th.label)
+		if ex.cpuSink != nil {
+			ex.cpuSink.RunOn(th.name, c, ex.now, end, th.label)
+		} else {
+			ex.sink.Run(th.name, ex.now, end, th.label)
+		}
 		th.needCPU -= delta
 		th.consumed += delta
 	}

@@ -82,11 +82,16 @@ type ExecModel struct {
 	// Migration selects the migration policy when CPUs > 1
 	// (exec.Options.Migration).
 	Migration exec.MigrationPolicy
+	// Stats optionally wires the executive's kernel counters
+	// (exec.Options.Stats). Observational only: table and matrix outputs
+	// are byte-identical with or without it (pinned by the obs
+	// differential test).
+	Stats *exec.Stats
 }
 
 // execOptions maps the model onto the executive configuration.
 func (m ExecModel) execOptions() exec.Options {
-	return exec.Options{Kernel: m.Kernel, MaxGoroutines: m.MaxGoroutines, CPUs: m.CPUs, Migration: m.Migration}
+	return exec.Options{Kernel: m.Kernel, MaxGoroutines: m.MaxGoroutines, CPUs: m.CPUs, Migration: m.Migration, Stats: m.Stats}
 }
 
 // DefaultExecModel is the calibrated execution platform used for Tables 3

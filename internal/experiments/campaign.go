@@ -114,6 +114,14 @@ func (s CampaignSpec) Load(density float64) float64 {
 // into the partial in index order, and recycled — so the range's memory
 // footprint is independent of hi-lo.
 func RunCampaignRange(s CampaignSpec, point, lo, hi int) (metrics.Partial, error) {
+	return runCampaignRange(s, point, lo, hi, nil)
+}
+
+// runCampaignRange is RunCampaignRange with an optional per-system tick,
+// called from the fold (serialized, in index order) as each system's
+// partial merges — the progress reporter's feed. A nil tick costs one
+// branch per fold.
+func runCampaignRange(s CampaignSpec, point, lo, hi int, tick func()) (metrics.Partial, error) {
 	if err := s.Validate(); err != nil {
 		return metrics.Partial{}, err
 	}
@@ -139,6 +147,9 @@ func RunCampaignRange(s CampaignSpec, point, lo, hi int) (metrics.Partial, error
 		},
 		func(acc metrics.Partial, _ int, one metrics.Partial) metrics.Partial {
 			acc.Merge(one)
+			if tick != nil {
+				tick()
+			}
 			return acc
 		})
 }
@@ -166,12 +177,27 @@ type Curve struct {
 // same spec (see RunCampaignSharded): partials are integer tallies with an
 // exact merge, and each point's fold order is fixed by system index.
 func RunCampaign(s CampaignSpec) (*Curve, error) {
+	return RunCampaignOpts(s, CampaignOptions{})
+}
+
+// RunCampaignOpts is RunCampaign with observability options: a live
+// progress stream and/or a stats registry (campaign.systems counts folded
+// systems). The curve is bit-identical to RunCampaign's — options only
+// add observation, never behavior.
+func RunCampaignOpts(s CampaignSpec, opts CampaignOptions) (*Curve, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
+	systems := opts.Stats.Counter("campaign.systems")
+	prog := newProgress(opts.Progress, "campaign", int64(len(s.Points)*s.Systems), opts.ProgressInterval, nil)
+	defer prog.close()
+	tick := func() {
+		prog.add(1)
+		systems.Inc()
+	}
 	c := &Curve{Spec: s, Points: make([]CurvePoint, 0, len(s.Points))}
 	for i, d := range s.Points {
-		part, err := RunCampaignRange(s, i, 0, s.Systems)
+		part, err := runCampaignRange(s, i, 0, s.Systems, tick)
 		if err != nil {
 			return nil, fmt.Errorf("campaign point %d (density %v): %w", i, d, err)
 		}

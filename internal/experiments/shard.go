@@ -6,9 +6,12 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"rtsj/internal/harness"
 	"rtsj/internal/metrics"
+	"rtsj/internal/obs"
 )
 
 // ShardProtocolVersion is the campaign shard wire-protocol version. Both
@@ -58,6 +61,47 @@ type ShardResponse struct {
 //
 // cmd/shard wires this to stdin/stdout or to accepted TCP connections.
 func ServeShard(r io.Reader, w io.Writer) error {
+	return ServeShardStats(r, w, nil)
+}
+
+// ShardStats is the worker-side instrument set of the shard protocol:
+// request/system/error counters, the in-flight gauge, and the wall-clock
+// request-latency histogram. All fields may be nil; a nil *ShardStats
+// disables observation entirely.
+type ShardStats struct {
+	// Requests counts range requests served (including failing ones).
+	Requests *obs.Counter
+	// Systems counts systems simulated across all served ranges.
+	Systems *obs.Counter
+	// Errors counts requests answered with an error response.
+	Errors *obs.Counter
+	// InFlight is the number of requests currently being computed (0 or 1
+	// per session; sessions served concurrently stack).
+	InFlight *obs.Gauge
+	// Latency is the wall-clock milliseconds each range took to compute.
+	Latency *obs.Histogram
+}
+
+// NewShardStats builds a ShardStats wired to registry r under
+// "shard."-prefixed metric names. A nil registry yields nil instruments.
+func NewShardStats(r *obs.Registry) *ShardStats {
+	return &ShardStats{
+		Requests: r.Counter("shard.requests"),
+		Systems:  r.Counter("shard.systems"),
+		Errors:   r.Counter("shard.errors"),
+		InFlight: r.Gauge("shard.inflight"),
+		Latency:  r.Histogram("shard.request_ms", obs.DefaultLatencyBuckets),
+	}
+}
+
+// ServeShardStats is ServeShard with worker-side observability: st's
+// instruments (nil disables them) count every request, its systems, its
+// wall-clock latency and its outcome. The response stream is byte-
+// identical to ServeShard's — stats never leak into the protocol.
+func ServeShardStats(r io.Reader, w io.Writer, st *ShardStats) error {
+	if st == nil {
+		st = &ShardStats{}
+	}
 	dec := json.NewDecoder(bufio.NewReader(r))
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
@@ -80,14 +124,23 @@ func ServeShard(r io.Reader, w io.Writer) error {
 		}
 		if req.V != ShardProtocolVersion {
 			werr := fmt.Errorf("shard: protocol version %d, want %d", req.V, ShardProtocolVersion)
+			st.Requests.Inc()
+			st.Errors.Inc()
 			_ = respond(ShardResponse{Point: req.Point, Lo: req.Lo, Hi: req.Hi, Error: werr.Error()})
 			return werr
 		}
+		st.Requests.Inc()
+		st.InFlight.Add(1)
+		began := time.Now()
 		part, err := RunCampaignRange(req.Spec, req.Point, req.Lo, req.Hi)
+		st.Latency.Observe(time.Since(began).Milliseconds())
+		st.InFlight.Add(-1)
 		if err != nil {
+			st.Errors.Inc()
 			_ = respond(ShardResponse{Point: req.Point, Lo: req.Lo, Hi: req.Hi, Error: err.Error()})
 			return fmt.Errorf("shard: range [%d, %d) of point %d: %w", req.Lo, req.Hi, req.Point, err)
 		}
+		st.Systems.Add(int64(req.Hi - req.Lo))
 		if err := respond(ShardResponse{Point: req.Point, Lo: req.Lo, Hi: req.Hi, Partial: &part}); err != nil {
 			return err
 		}
@@ -104,6 +157,23 @@ type ShardConn struct {
 	R io.Reader
 	// W carries the coordinator's request lines.
 	W io.Writer
+}
+
+// shardHealth renders the per-shard status fragment of a progress line:
+// one "name:served(ok|FAILED|+k inflight)"-style cell per shard.
+func shardHealth(sessions []*shardSession) string {
+	out := ""
+	for i, ss := range sessions {
+		if i > 0 {
+			out += " "
+		}
+		state := "ok"
+		if ss.failed.Load() {
+			state = "FAILED"
+		}
+		out += fmt.Sprintf("%s:%d(%s)", ss.name, ss.served.Load(), state)
+	}
+	return out
 }
 
 // shardChunk is one (point, range) work unit of a sharded campaign.
@@ -126,6 +196,16 @@ type shardSession struct {
 	name string
 	enc  *json.Encoder
 	dec  *json.Decoder
+
+	// Coordinator-side observability (all optional): request/latency
+	// instruments, the shared in-flight gauge, the progress tracker, and
+	// the session's own health tallies for the progress health line.
+	requests *obs.Counter
+	latency  *obs.Histogram
+	inflight *obs.Gauge
+	prog     *progressTracker
+	served   atomic.Int64
+	failed   atomic.Bool
 }
 
 // run drives the session through work synchronously: write a request,
@@ -137,33 +217,49 @@ func (ss *shardSession) run(s CampaignSpec, work []shardChunk) ([]rangedPartial,
 	out := make([]rangedPartial, 0, len(work))
 	for _, ch := range work {
 		req := ShardRequest{V: ShardProtocolVersion, Spec: s, Point: ch.point, Lo: ch.lo, Hi: ch.hi}
+		ss.requests.Inc()
+		ss.inflight.Add(1)
+		began := time.Now()
 		if err := ss.enc.Encode(req); err != nil {
+			ss.inflight.Add(-1)
+			ss.failed.Store(true)
 			return out, fmt.Errorf("campaign: %s: write request: %w", ss.name, err)
 		}
 		var resp ShardResponse
-		if err := ss.dec.Decode(&resp); err != nil {
+		err := ss.dec.Decode(&resp)
+		ss.latency.Observe(time.Since(began).Milliseconds())
+		ss.inflight.Add(-1)
+		if err != nil {
+			ss.failed.Store(true)
 			return out, fmt.Errorf("campaign: %s: read response for point %d range [%d, %d): %w",
 				ss.name, ch.point, ch.lo, ch.hi, err)
 		}
 		if resp.Error != "" {
+			ss.failed.Store(true)
 			return out, fmt.Errorf("campaign: %s: %s", ss.name, resp.Error)
 		}
 		if resp.V != ShardProtocolVersion {
+			ss.failed.Store(true)
 			return out, fmt.Errorf("campaign: %s: protocol version %d, want %d", ss.name, resp.V, ShardProtocolVersion)
 		}
 		if resp.Point != ch.point || resp.Lo != ch.lo || resp.Hi != ch.hi {
+			ss.failed.Store(true)
 			return out, fmt.Errorf("campaign: %s: response for point %d range [%d, %d), want point %d range [%d, %d)",
 				ss.name, resp.Point, resp.Lo, resp.Hi, ch.point, ch.lo, ch.hi)
 		}
 		if resp.Partial == nil {
+			ss.failed.Store(true)
 			return out, fmt.Errorf("campaign: %s: response for point %d range [%d, %d) carries no partial",
 				ss.name, ch.point, ch.lo, ch.hi)
 		}
 		if resp.Partial.Systems != ch.hi-ch.lo {
+			ss.failed.Store(true)
 			return out, fmt.Errorf("campaign: %s: partial for point %d range [%d, %d) covers %d systems, want %d",
 				ss.name, ch.point, ch.lo, ch.hi, resp.Partial.Systems, ch.hi-ch.lo)
 		}
 		out = append(out, rangedPartial{shardChunk: ch, part: *resp.Partial})
+		ss.served.Add(1)
+		ss.prog.add(int64(ch.hi - ch.lo))
 	}
 	return out, nil
 }
@@ -190,6 +286,17 @@ func (ss *shardSession) run(s CampaignSpec, work []shardChunk) ([]rangedPartial,
 // RunCampaign's, for any shard count and any batch size — the fabric's
 // differential invariant.
 func RunCampaignSharded(s CampaignSpec, shards []ShardConn, batch int) (*Curve, error) {
+	return RunCampaignShardedOpts(s, shards, batch, CampaignOptions{})
+}
+
+// RunCampaignShardedOpts is RunCampaignSharded with observability
+// options. Progress lines carry per-shard health (served ranges, ok or
+// FAILED, in-flight requests); the stats registry gains coordinator
+// counters ("campaign.requests", "campaign.retries", "campaign.inflight")
+// and one request-latency histogram per shard
+// ("campaign.shard<i>.request_ms"). The curve stays bit-identical to
+// RunCampaignSharded's — observation only.
+func RunCampaignShardedOpts(s CampaignSpec, shards []ShardConn, batch int, opts CampaignOptions) (*Curve, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -216,16 +323,31 @@ func RunCampaignSharded(s CampaignSpec, shards []ShardConn, batch int) (*Curve, 
 	}
 
 	sessions := make([]*shardSession, len(shards))
+	requests := opts.Stats.Counter("campaign.requests")
+	retriesC := opts.Stats.Counter("campaign.retries")
+	inflight := opts.Stats.Gauge("campaign.inflight")
 	for si, conn := range shards {
 		name := conn.Name
 		if name == "" {
 			name = fmt.Sprintf("shard %d", si)
 		}
 		sessions[si] = &shardSession{
-			name: name,
-			enc:  json.NewEncoder(conn.W),
-			dec:  json.NewDecoder(bufio.NewReader(conn.R)),
+			name:     name,
+			enc:      json.NewEncoder(conn.W),
+			dec:      json.NewDecoder(bufio.NewReader(conn.R)),
+			requests: requests,
+			inflight: inflight,
 		}
+		if opts.Stats != nil {
+			sessions[si].latency = opts.Stats.Histogram(
+				fmt.Sprintf("campaign.shard%d.request_ms", si), obs.DefaultLatencyBuckets)
+		}
+	}
+	prog := newProgress(opts.Progress, "campaign", int64(len(s.Points)*s.Systems), opts.ProgressInterval,
+		func() string { return shardHealth(sessions) })
+	defer prog.close()
+	for _, ss := range sessions {
+		ss.prog = prog
 	}
 
 	// First pass: one goroutine per shard connection drives that shard's
@@ -268,6 +390,7 @@ func RunCampaignSharded(s CampaignSpec, shards []ShardConn, batch int) (*Curve, 
 		if len(survivors) == 0 {
 			return nil, firstErr
 		}
+		retriesC.Add(int64(len(leftover)))
 		retries, _ := harness.MapN(len(survivors), len(survivors), func(k int) (shardResult, error) {
 			var work []shardChunk
 			for ci := k; ci < len(leftover); ci += len(survivors) {

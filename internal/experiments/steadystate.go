@@ -5,6 +5,7 @@ import (
 
 	"rtsj/internal/exec"
 	"rtsj/internal/rtime"
+	"rtsj/internal/trace"
 )
 
 // Periodic steady-state scenario: the workload the activation-driven
@@ -38,6 +39,12 @@ type SteadyStateParams struct {
 	// Activation selects the activation dispatch path (SpawnPeriodic); the
 	// default false runs classic parked loops for comparison.
 	Activation bool
+	// Sink optionally records the run's schedule (nil keeps the
+	// metrics-only fast path); cmd/stress -perfetto uses it.
+	Sink trace.Sink
+	// Stats optionally wires the executive's kernel counters
+	// (exec.Options.Stats). Observational only.
+	Stats *exec.Stats
 }
 
 // DefaultSteadyStateParams is the 10k-entity configuration used by
@@ -88,7 +95,7 @@ func RunPeriodicSteadyState(p SteadyStateParams) (*SteadyStateResult, error) {
 		return nil, fmt.Errorf("steadystate: horizon must be positive (got %g)", p.HorizonTU)
 	}
 	rng := &stressRand{s: p.Seed ^ 0xa076_1d64_78bd_642f}
-	ex := exec.NewWithOptions(nil, exec.Options{Kernel: p.Kernel, MaxGoroutines: p.MaxGoroutines})
+	ex := exec.NewWithOptions(p.Sink, exec.Options{Kernel: p.Kernel, MaxGoroutines: p.MaxGoroutines, Stats: p.Stats})
 	res := &SteadyStateResult{Entities: p.Entities, Fingerprint: 14695981039346656037}
 	res.Horizon = rtime.AtTU(p.HorizonTU)
 

@@ -6,6 +6,7 @@ import (
 	"rtsj/internal/exec"
 	"rtsj/internal/faults"
 	"rtsj/internal/rtime"
+	"rtsj/internal/trace"
 )
 
 // Large-N stress scenario: the workload the pooled executive
@@ -49,6 +50,14 @@ type StressParams struct {
 	// means 1) under the Global migration policy — the multi-CPU stress
 	// smoke of cmd/stress -cpus.
 	CPUs int
+	// Sink optionally records the run's schedule (nil keeps the
+	// metrics-only fast path). cmd/stress -perfetto passes a *trace.Trace
+	// here to export the schedule.
+	Sink trace.Sink
+	// Stats optionally wires the executive's kernel counters
+	// (exec.Options.Stats). Observational only — the fingerprint and all
+	// result fields are identical with or without it.
+	Stats *exec.Stats
 }
 
 // DefaultStressParams is the 10k-job configuration used by
@@ -101,7 +110,7 @@ func RunStress(p StressParams) (*StressResult, error) {
 		p.PriorityBands = 1
 	}
 	rng := &stressRand{s: p.Seed ^ 0x9e3779b97f4a7c15}
-	ex := exec.NewWithOptions(nil, exec.Options{Kernel: p.Kernel, MaxGoroutines: p.MaxGoroutines, CPUs: p.CPUs})
+	ex := exec.NewWithOptions(p.Sink, exec.Options{Kernel: p.Kernel, MaxGoroutines: p.MaxGoroutines, CPUs: p.CPUs, Stats: p.Stats})
 	res := &StressResult{Jobs: p.Jobs, Fingerprint: 14695981039346656037}
 
 	// Release window: jobs at ~0.5tu average cost, spread to ~55% load,

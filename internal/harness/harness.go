@@ -126,7 +126,11 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 			if i >= len(items) {
 				return
 			}
+			counted := unitStart()
 			r, err := fn(i, items[i])
+			if counted {
+				unitEnd()
+			}
 			if err != nil {
 				mu.Lock()
 				if errIdx == -1 || i < errIdx {
@@ -261,7 +265,11 @@ func (st *reduceState[R, A]) run(n int, fn func(i int) (R, error), fold func(acc
 		st.claim++
 		st.mu.Unlock()
 
+		counted := unitStart()
 		r, err := fn(i)
+		if counted {
+			unitEnd()
+		}
 
 		st.mu.Lock()
 		if err != nil {
@@ -273,6 +281,7 @@ func (st *reduceState[R, A]) run(n int, fn func(i int) (R, error), fold func(acc
 			return
 		}
 		st.pending[i] = r
+		noteWindow(len(st.pending))
 		for {
 			next, ok := st.pending[st.done]
 			if !ok {

@@ -247,9 +247,15 @@ func (l *Loader) Load(dir string) (*Package, error) {
 }
 
 // importPathFor maps an absolute directory under the module root to its
-// import path; directories outside the module keep their base name.
+// import path; directories outside the module keep their base name. The
+// root is absolutized first so a loader constructed with a relative root
+// still yields full module-qualified paths (analyzers match on them).
 func (l *Loader) importPathFor(abs string) string {
-	if rel, err := filepath.Rel(l.ModuleRoot, abs); err == nil && !strings.HasPrefix(rel, "..") {
+	root := l.ModuleRoot
+	if r, err := filepath.Abs(root); err == nil {
+		root = r
+	}
+	if rel, err := filepath.Rel(root, abs); err == nil && !strings.HasPrefix(rel, "..") {
 		return l.ModulePath + "/" + filepath.ToSlash(rel)
 	}
 	return filepath.Base(abs)

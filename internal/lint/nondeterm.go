@@ -5,6 +5,7 @@ import (
 	"go/token"
 	"go/types"
 	"strconv"
+	"strings"
 )
 
 // DeterministicPackages names the packages whose output feeds schedules,
@@ -56,6 +57,21 @@ var forbiddenImports = map[string]string{
 	"math/rand/v2": "unseeded/global randomness; use the package's splitmix streams",
 }
 
+// obsReadMethods are the internal/obs accessors that surface accumulated
+// observability state. Bumping an instrument (Inc, Add, Set, Max, Observe)
+// is allowed anywhere — the stats layer is observational by contract — but
+// *reading* one inside a deterministic package would let run-to-run-varying
+// state (pool high-water marks, latency histograms) leak into schedules or
+// fingerprints, so reads are findings there.
+var obsReadMethods = map[string]bool{
+	"Value":    true,
+	"Count":    true,
+	"Sum":      true,
+	"Snapshot": true,
+	"Map":      true,
+	"Format":   true,
+}
+
 func runNonDeterm(pass *Pass) {
 	for _, file := range pass.Files {
 		// Import graph: forbidden packages, and the local names of
@@ -83,6 +99,11 @@ func runNonDeterm(pass *Pass) {
 			if !ok {
 				return true
 			}
+			if obsReadMethods[sel.Sel.Name] && isObsReceiver(pass, sel) {
+				pass.Reportf(sel.Pos(),
+					"%s.%s: reading observability state in a deterministic package (obs instruments are write-only here)",
+					exprString(sel.X), sel.Sel.Name)
+			}
 			id, ok := sel.X.(*ast.Ident)
 			if !ok {
 				return true
@@ -107,6 +128,26 @@ func runNonDeterm(pass *Pass) {
 	}
 
 	checkGlobalWrites(pass)
+}
+
+// isObsReceiver reports whether sel is a method selection whose receiver is
+// a type of internal/obs. Module-local imports type-check from source, so
+// the receiver's package path resolves precisely; selections that did not
+// resolve (stubbed imports) are simply not obs receivers.
+func isObsReceiver(pass *Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(named.Obj().Pkg().Path(), "internal/obs")
 }
 
 // checkGlobalWrites flags assignments to package-level variables outside

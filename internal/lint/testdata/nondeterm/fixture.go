@@ -8,6 +8,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"rtsj/internal/obs"
 )
 
 // globalCounter is package-level mutable state.
@@ -54,4 +56,36 @@ func readGlobal() int {
 func shadowedTime() int {
 	time := struct{ Now int }{Now: 3} // a local shadowing the import
 	return time.Now
+}
+
+// bumpStats exercises the obs write allowlist: incrementing instruments is
+// observational and legal in deterministic packages.
+func bumpStats(c *obs.Counter, g *obs.Gauge, h *obs.Histogram) {
+	c.Inc()
+	c.Add(2)
+	g.Set(1)
+	g.Max(5)
+	h.Observe(7)
+}
+
+// readStats exercises the obs read ban: accumulated observability state
+// must not feed deterministic results.
+func readStats(c *obs.Counter, h *obs.Histogram, r *obs.Registry) int64 {
+	v := c.Value()      // want `c\.Value: reading observability state`
+	v += h.Count()      // want `h\.Count: reading observability state`
+	v += h.Sum()        // want `h\.Sum: reading observability state`
+	_ = r.Snapshot()    // want `r\.Snapshot: reading observability state`
+	_ = r.Map()         // want `r\.Map: reading observability state`
+	_ = len(r.Format()) // want `r\.Format: reading observability state`
+	return v
+}
+
+// valueElsewhere pins that the method-name match alone is not enough: a
+// Value method on a non-obs type is fine.
+type valueElsewhere struct{ n int64 }
+
+func (v valueElsewhere) Value() int64 { return v.n }
+
+func readOwnValue() int64 {
+	return valueElsewhere{n: 1}.Value()
 }

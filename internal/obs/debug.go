@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Publish registers the registry's live snapshot in the process-wide
+// expvar namespace under name, so it appears in /debug/vars. Publishing
+// the same name twice is a no-op (expvar itself panics on duplicates);
+// the first registry wins. Nil receiver is a no-op.
+func (r *Registry) Publish(name string) {
+	if r == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Map() }))
+}
+
+// ServeDebug starts an HTTP debug endpoint on addr (":0" picks a free
+// port) exposing /debug/vars (expvar, including every published registry)
+// and /debug/pprof. It returns the bound address. The server runs until
+// the process exits; connection errors after startup are discarded — the
+// endpoint is best-effort observability, never load-bearing.
+func ServeDebug(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,314 @@
+// Package obs is the runtime observability layer: a registry of atomic
+// counters, gauges and histograms that the executive, the harness and the
+// campaign fabric bump while they run, plus expvar/pprof debug endpoints
+// for the long-lived processes (cmd/shard -listen, cmd/stress).
+//
+// The layer is zero-overhead when disabled: every instrument method is a
+// nil-receiver no-op, so a component whose stats were never wired holds
+// nil pointers and pays one inlined nil check per hook. Snapshots are
+// deterministic (sorted by metric name) so two runs of the same workload
+// print their stats identically.
+//
+// Counters are observational only. Nothing read back from an instrument
+// may feed a fingerprint, a trace, or a metrics output — the determinism
+// contract of the core packages is that their results are pure functions
+// of (inputs, seed), and instrument values depend on wall-clock interleaving
+// (pool reuse, worker scheduling). rtlint's nondeterm analyzer enforces
+// the split: instrument *bumps* are permitted inside deterministic
+// packages, instrument *reads* are a finding there.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; a nil *Counter discards every bump, which is how disabled
+// components skip stats without branching at call sites.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one. Safe on a nil receiver (no-op).
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n. Safe on a nil receiver (no-op).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil receiver). Never feed the
+// value into a fingerprint, trace or metrics output — see the package
+// comment.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (queue depth, in-flight count)
+// that also supports high-water-mark raising. The zero value is ready; a
+// nil *Gauge discards every update.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. Safe on a nil receiver (no-op).
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds delta and returns the new value (0 on a nil receiver).
+func (g *Gauge) Add(delta int64) int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Add(delta)
+}
+
+// Max raises the gauge to v if v exceeds the current value — the
+// high-water-mark update. Safe on a nil receiver (no-op).
+func (g *Gauge) Max(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil receiver). Observational
+// only — see the package comment.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts integer observations into fixed buckets (cumulative
+// "le" semantics: bucket i counts observations <= Bounds[i], with one
+// overflow bucket above the last bound). Construct through
+// Registry.Histogram; a nil *Histogram discards every observation.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1; last is the overflow bucket
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// DefaultLatencyBuckets are the stock request-latency bucket bounds, in
+// integer milliseconds, used by the shard fabric's request histograms.
+var DefaultLatencyBuckets = []int64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// Observe records one value. Safe on a nil receiver (no-op).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations (0 on a nil receiver).
+// Observational only — see the package comment.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on a nil receiver).
+// Observational only — see the package comment.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// metric is a registered instrument: it knows how to expand itself into
+// named snapshot entries.
+type metric interface {
+	expand(name string, emit func(name string, value int64))
+}
+
+func (c *Counter) expand(name string, emit func(string, int64)) { emit(name, c.Value()) }
+func (g *Gauge) expand(name string, emit func(string, int64))   { emit(name, g.Value()) }
+
+func (h *Histogram) expand(name string, emit func(string, int64)) {
+	for i, b := range h.bounds {
+		emit(fmt.Sprintf("%s.le%d", name, b), h.counts[i].Load())
+	}
+	emit(name+".leinf", h.counts[len(h.bounds)].Load())
+	emit(name+".count", h.count.Load())
+	emit(name+".sum", h.sum.Load())
+}
+
+// Registry holds named instruments. Constructors are idempotent: asking
+// twice for the same name and kind returns the same instrument, so
+// several components can share one metric. A nil *Registry returns nil
+// instruments from every constructor, which makes wiring optional all the
+// way down: pass a nil registry and the whole stats path collapses to
+// inlined nil checks.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]metric // guarded by mu
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]metric)}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Nil receiver returns nil. Panics if name is already registered as
+// a different kind.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		c, ok := m.(*Counter)
+		if !ok {
+			panic(fmt.Sprintf("obs: %q already registered as %T, not a counter", name, m))
+		}
+		return c
+	}
+	c := &Counter{}
+	r.metrics[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Nil receiver returns nil. Panics if name is already registered as
+// a different kind.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		g, ok := m.(*Gauge)
+		if !ok {
+			panic(fmt.Sprintf("obs: %q already registered as %T, not a gauge", name, m))
+		}
+		return g
+	}
+	g := &Gauge{}
+	r.metrics[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given cumulative bucket bounds (which must be sorted ascending) on
+// first use. Nil receiver returns nil. Panics if name is already
+// registered as a different kind.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		h, ok := m.(*Histogram)
+		if !ok {
+			panic(fmt.Sprintf("obs: %q already registered as %T, not a histogram", name, m))
+		}
+		return h
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending: %v", name, bounds))
+		}
+	}
+	h := &Histogram{bounds: append([]int64(nil), bounds...), counts: make([]atomic.Int64, len(bounds)+1)}
+	r.metrics[name] = h
+	return h
+}
+
+// Metric is one named snapshot entry.
+type Metric struct {
+	// Name is the metric name (histograms expand into one entry per
+	// bucket plus ".count" and ".sum").
+	Name string
+	// Value is the entry's value at snapshot time.
+	Value int64
+}
+
+// Snapshot returns every entry, sorted by instrument name (histogram
+// bucket entries stay in bound order under their instrument). The order
+// is deterministic, so snapshots of identical states print identically.
+// Nil receiver returns nil.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []Metric
+	for _, name := range names {
+		r.metrics[name].expand(name, func(n string, v int64) {
+			out = append(out, Metric{Name: n, Value: v})
+		})
+	}
+	return out
+}
+
+// Map returns the snapshot as a name->value map, the shape expvar
+// publishes (JSON object keys are emitted sorted by encoding/json).
+// Nil receiver returns nil.
+func (r *Registry) Map() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	out := make(map[string]int64, len(snap))
+	for _, m := range snap {
+		out[m.Name] = m.Value
+	}
+	return out
+}
+
+// Format renders the snapshot as "name value" lines in snapshot order —
+// the text form cmd/stress -stats prints. Nil receiver returns "".
+func (r *Registry) Format() string {
+	if r == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, m := range r.Snapshot() {
+		fmt.Fprintf(&b, "%s %d\n", m.Name, m.Value)
+	}
+	return b.String()
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Every instrument method must be a safe no-op on a nil receiver: that is
+// the whole zero-overhead-when-disabled contract.
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Max(9)
+	if g.Add(2) != 0 || g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(7)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram has observations")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("y") != nil || r.Histogram("z", []int64{1}) != nil {
+		t.Fatal("nil registry built an instrument")
+	}
+	if r.Snapshot() != nil || r.Map() != nil || r.Format() != "" {
+		t.Fatal("nil registry produced a snapshot")
+	}
+	r.Publish("nil-registry")
+}
+
+func TestRegistryIdempotentAndSorted(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("b.count")
+	c2 := r.Counter("b.count")
+	if c1 != c2 {
+		t.Fatal("same name returned distinct counters")
+	}
+	c1.Add(2)
+	r.Gauge("a.gauge").Set(7)
+	r.Histogram("c.lat", []int64{1, 10}).Observe(5)
+	r.Histogram("c.lat", []int64{1, 10}).Observe(50)
+
+	var names []string
+	for _, m := range r.Snapshot() {
+		names = append(names, fmt.Sprintf("%s=%d", m.Name, m.Value))
+	}
+	want := "a.gauge=7 b.count=2 c.lat.le1=0 c.lat.le10=1 c.lat.leinf=1 c.lat.count=2 c.lat.sum=55"
+	if got := strings.Join(names, " "); got != want {
+		t.Fatalf("snapshot:\n got %s\nwant %s", got, want)
+	}
+	wantFmt := "a.gauge 7\nb.count 2\nc.lat.le1 0\nc.lat.le10 1\nc.lat.leinf 1\nc.lat.count 2\nc.lat.sum 55\n"
+	if got := r.Format(); got != wantFmt {
+		t.Fatalf("format:\n got %q\nwant %q", got, wantFmt)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic registering x as a gauge after a counter")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestGaugeMaxIsHighWaterMark(t *testing.T) {
+	g := &Gauge{}
+	g.Max(5)
+	g.Max(3)
+	if g.Value() != 5 {
+		t.Fatalf("Max lowered the gauge: %d", g.Value())
+	}
+	g.Max(9)
+	if g.Value() != 9 {
+		t.Fatalf("Max did not raise the gauge: %d", g.Value())
+	}
+}
+
+func TestInstrumentsAreConcurrencySafe(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", DefaultLatencyBuckets)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Max(int64(i))
+				h.Observe(int64(i % 40))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || g.Value() != 999 || h.Count() != 8000 {
+		t.Fatalf("lost updates: c=%d g=%d h=%d", c.Value(), g.Value(), h.Count())
+	}
+}
+
+func TestServeDebugExposesVarsAndPprof(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test.requests").Add(42)
+	r.Publish("obs-test")
+	r.Publish("obs-test") // duplicate publish must not panic
+
+	addr, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	var snap map[string]int64
+	if err := json.Unmarshal(vars["obs-test"], &snap); err != nil {
+		t.Fatalf("obs-test var: %v", err)
+	}
+	if snap["test.requests"] != 42 {
+		t.Fatalf("test.requests = %d, want 42", snap["test.requests"])
+	}
+	idx, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.Body.Close()
+	if idx.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", idx.StatusCode)
+	}
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rtsj/internal/rtime"
+)
+
+// perfettoDoc mirrors the exported JSON shape for decoding in tests.
+type perfettoDoc struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Pid  int     `json:"pid"`
+		Tid  int     `json:"tid"`
+		S    string  `json:"s"`
+		Args struct {
+			Name  string `json:"name"`
+			Label string `json:"label"`
+			Kind  string `json:"kind"`
+		} `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func buildSMPTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr := &Trace{}
+	tr.DeclareEntity("T1")
+	tr.DeclareEntity("T2")
+	tr.DeclareEntity("T3")
+	tu := rtime.Duration(rtime.TU)
+	at := func(n int64) rtime.Time { return rtime.Time(0).Add(rtime.Duration(n) * tu) }
+	tr.Mark("T1", at(0), Arrival, "")
+	tr.RunOn("T1", 0, at(0), at(3), "")
+	tr.RunOn("T2", 1, at(0), at(2), "svc")
+	tr.RunOn("T3", 1, at(2), at(4), "")
+	tr.RunOn("T1", 1, at(3), at(5), "") // T1 migrates to CPU 1
+	tr.Mark("T1", at(5), Completion, "")
+	tr.Mark("T2", at(2), Completion, "")
+	return tr
+}
+
+// The exporter must emit schema-valid Chrome trace-event JSON: known
+// phases, µs timestamps, positive durations on complete events, the
+// thread-scoped flag on instants, and a named track per CPU and entity.
+func TestWritePerfettoSchema(t *testing.T) {
+	tr := buildSMPTrace(t)
+	var buf bytes.Buffer
+	if err := tr.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc perfettoDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	var threads []string
+	nX, nI := 0, 0
+	for i, e := range doc.TraceEvents {
+		if e.Name == "" {
+			t.Fatalf("event %d has no name", i)
+		}
+		if e.Ts < 0 {
+			t.Fatalf("event %d has negative ts %v", i, e.Ts)
+		}
+		switch e.Ph {
+		case "M":
+			if e.Args.Name == "" {
+				t.Fatalf("metadata event %d has no args.name", i)
+			}
+			if e.Name == "thread_name" {
+				threads = append(threads, e.Args.Name)
+			}
+		case "X":
+			nX++
+			if e.Dur <= 0 {
+				t.Fatalf("complete event %d has dur %v", i, e.Dur)
+			}
+			if e.Pid != 0 {
+				t.Fatalf("complete event %d on pid %d, want CPU process 0", i, e.Pid)
+			}
+		case "i":
+			nI++
+			if e.S != "t" {
+				t.Fatalf("instant event %d scope %q, want thread scope", i, e.S)
+			}
+			if e.Pid != 1 {
+				t.Fatalf("instant event %d on pid %d, want entity process 1", i, e.Pid)
+			}
+		default:
+			t.Fatalf("event %d has unknown phase %q", i, e.Ph)
+		}
+	}
+	if nX != 4 || nI != 3 {
+		t.Fatalf("got %d complete + %d instant events, want 4 + 3", nX, nI)
+	}
+	got := strings.Join(threads, ",")
+	want := "cpu 0,cpu 1,T1,T2,T3"
+	if got != want {
+		t.Fatalf("thread tracks %q, want %q", got, want)
+	}
+}
+
+// Timestamps are microseconds: 1 paper time unit = 1 ms = 1000 µs.
+func TestWritePerfettoMicroseconds(t *testing.T) {
+	tr := &Trace{}
+	tr.DeclareEntity("T1")
+	tr.RunOn("T1", 0, rtime.Time(0), rtime.Time(0).Add(3*rtime.Duration(rtime.TU)), "")
+	var buf bytes.Buffer
+	if err := tr.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc perfettoDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			if e.Ts != 0 || e.Dur != 3000 {
+				t.Fatalf("segment ts=%v dur=%v, want 0 and 3000 µs", e.Ts, e.Dur)
+			}
+			return
+		}
+	}
+	t.Fatal("no complete event in export")
+}

@@ -86,6 +86,9 @@ type Segment struct {
 	Start, End rtime.Time
 	// Label optionally names the work performed.
 	Label string
+	// CPU is the virtual CPU the segment ran on (always 0 for the
+	// uniprocessor engines; the SMP executive records real indices).
+	CPU int
 }
 
 // Dur returns the segment length.
@@ -116,6 +119,16 @@ type Sink interface {
 	Mark(entity string, at rtime.Time, kind EventKind, label string)
 }
 
+// CPUSink is the optional Sink extension for engines that schedule more
+// than one virtual CPU: RunOn is Run with an explicit CPU index. Engines
+// probe for it once with a type assertion and fall back to Run (CPU 0)
+// when the sink does not care.
+type CPUSink interface {
+	Sink
+	// RunOn records that entity executed over [start, end) on cpu.
+	RunOn(entity string, cpu int, start, end rtime.Time, label string)
+}
+
 // Nop is a Sink that discards every recording.
 type Nop struct{}
 
@@ -124,6 +137,9 @@ func (Nop) DeclareEntity(string) {}
 
 // Run implements Sink.
 func (Nop) Run(string, rtime.Time, rtime.Time, string) {}
+
+// RunOn implements CPUSink.
+func (Nop) RunOn(string, int, rtime.Time, rtime.Time, string) {}
 
 // Mark implements Sink.
 func (Nop) Mark(string, rtime.Time, EventKind, string) {}
@@ -144,10 +160,10 @@ type Trace struct {
 // New returns an empty trace.
 func New() *Trace { return &Trace{} }
 
-// Both implementations satisfy Sink.
+// Both implementations satisfy Sink and the CPU-aware extension.
 var (
-	_ Sink = (*Trace)(nil)
-	_ Sink = Nop{}
+	_ CPUSink = (*Trace)(nil)
+	_ CPUSink = Nop{}
 )
 
 func (tr *Trace) noteEntity(name string) {
@@ -164,21 +180,31 @@ func (tr *Trace) noteEntity(name string) {
 // segment is recorded, so idle entities still appear in the Gantt chart.
 func (tr *Trace) DeclareEntity(name string) { tr.noteEntity(name) }
 
-// Run records that entity executed over [start, end). Zero-length segments
-// are dropped. Adjacent segments with equal label are merged.
+// Run records that entity executed over [start, end) on CPU 0.
+// Zero-length segments are dropped. Adjacent segments with equal label
+// are merged.
 func (tr *Trace) Run(entity string, start, end rtime.Time, label string) {
+	tr.RunOn(entity, 0, start, end, label)
+}
+
+// RunOn records that entity executed over [start, end) on cpu
+// (CPUSink). Zero-length segments are dropped. Adjacent segments with
+// equal label and CPU are merged — the SMP executive re-places an
+// occupant on the same CPU across consecutive slices, so the CPU
+// condition only splits segments at real migrations.
+func (tr *Trace) RunOn(entity string, cpu int, start, end rtime.Time, label string) {
 	if end <= start {
 		return
 	}
 	tr.noteEntity(entity)
 	if n := len(tr.Segments); n > 0 {
 		last := &tr.Segments[n-1]
-		if last.Entity == entity && last.End == start && last.Label == label {
+		if last.Entity == entity && last.End == start && last.Label == label && last.CPU == cpu {
 			last.End = end
 			return
 		}
 	}
-	tr.Segments = append(tr.Segments, Segment{Entity: entity, Start: start, End: end, Label: label})
+	tr.Segments = append(tr.Segments, Segment{Entity: entity, Start: start, End: end, Label: label, CPU: cpu})
 }
 
 // Mark records a point event.
